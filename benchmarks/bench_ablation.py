@@ -1,0 +1,153 @@
+"""Ablation benches for SimGen's design choices (DESIGN.md §3).
+
+Each test sweeps one knob the paper fixes implicitly and prints the
+Equation-5 cost it yields, so the contribution of each choice is
+measurable: Eq. 4's alpha/beta balance, the per-vector target budget, the
+vector budget per iteration, and the OUTgold ordering strategy.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen import sweep_instance
+from repro.core import (
+    DecisionStrategy,
+    ImplicationStrategy,
+    SimGenGenerator,
+    level_alternating_outgold,
+)
+from repro.sweep import SweepConfig, SweepEngine
+
+BENCH = "cps"
+SWEEP = SweepConfig(seed=7, iterations=15, random_width=8)
+
+
+def _final_cost(network, generator) -> int:
+    engine = SweepEngine(network, generator, SWEEP)
+    _, metrics = engine.run_simulation_phase()
+    return metrics.final_cost
+
+
+def test_ablation_alpha_beta(benchmark):
+    """Eq. 4 weighting: beta=0 disables the MFFC term entirely."""
+    network = sweep_instance(BENCH)
+
+    def run():
+        costs = {}
+        for alpha, beta in ((100.0, 0.0), (100.0, 1.0), (1.0, 1.0)):
+            generator = SimGenGenerator(
+                network, seed=1, alpha=alpha, beta=beta
+            )
+            costs[(alpha, beta)] = _final_cost(network, generator)
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for (alpha, beta), cost in costs.items():
+        print(f"  alpha={alpha:5.1f} beta={beta:3.1f} -> cost {cost}")
+
+
+def test_ablation_max_targets(benchmark):
+    """Targets per vector: 2 (RevS-style pairs) up to 16."""
+    network = sweep_instance(BENCH)
+
+    def run():
+        return {
+            m: _final_cost(
+                network, SimGenGenerator(network, seed=1, max_targets=m)
+            )
+            for m in (2, 4, 8, 16)
+        }
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for m, cost in costs.items():
+        print(f"  max_targets={m:2d} -> cost {cost}")
+
+
+def test_ablation_vectors_per_iteration(benchmark):
+    network = sweep_instance(BENCH)
+
+    def run():
+        return {
+            v: _final_cost(
+                network,
+                SimGenGenerator(network, seed=1, vectors_per_iteration=v),
+            )
+            for v in (1, 4, 8)
+        }
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for v, cost in costs.items():
+        print(f"  vectors/iter={v} -> cost {cost}")
+
+
+def test_ablation_outgold_strategy(benchmark):
+    """Paper §3: id-alternating vs the level-aware OUTgold variant."""
+    network = sweep_instance(BENCH)
+
+    def run():
+        default = _final_cost(network, SimGenGenerator(network, seed=1))
+        leveled = _final_cost(
+            network,
+            SimGenGenerator(
+                network, seed=1, outgold_strategy=level_alternating_outgold
+            ),
+        )
+        return {"id-alternating": default, "level-alternating": leveled}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, cost in costs.items():
+        print(f"  {name}: cost {cost}")
+
+
+def test_ablation_implication_strength(benchmark):
+    """§4's question 'how much to imply?' head-to-head."""
+    network = sweep_instance(BENCH)
+
+    def run():
+        return {
+            strategy.value: _final_cost(
+                network,
+                SimGenGenerator(
+                    network,
+                    seed=1,
+                    implication_strategy=strategy,
+                    decision_strategy=DecisionStrategy.RANDOM,
+                ),
+            )
+            for strategy in ImplicationStrategy
+        }
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, cost in costs.items():
+        print(f"  implication={name}: cost {cost}")
+
+
+def test_ablation_generator_family(benchmark):
+    """All four vector sources head-to-head, including their hidden costs.
+
+    The SAT-cex generator splits classes perfectly but pays solver calls
+    during *generation* (the related-work trade-off the paper critiques);
+    the table prints both the final cost and that hidden budget.
+    """
+    from repro.core import RandomGenerator, SatCexGenerator, make_generator
+
+    network = sweep_instance(BENCH)
+
+    def run():
+        rows = {}
+        for name in ("RandS", "RevS", "AI+DC+MFFC"):
+            generator = make_generator(name, network, seed=1)
+            rows[name] = (_final_cost(network, generator), 0)
+        satgen = SatCexGenerator(network, seed=1)
+        rows["SAT-cex"] = (_final_cost(network, satgen), satgen.sat_calls)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, (cost, hidden) in rows.items():
+        suffix = f" (+{hidden} generation SAT calls)" if hidden else ""
+        print(f"  {name:12s} cost {cost}{suffix}")

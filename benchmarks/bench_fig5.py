@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 5 (per-benchmark normalized differences, §6.3)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5(benchmark, config, shared_runner):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"config": config, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    # Reproduction shape: SimGen is rarely Pareto-dominated by RevS.
+    dominated = sum(1 for p in result.points if p.pareto_class() == "dominated")
+    assert dominated <= len(result.points) // 2

@@ -1,0 +1,41 @@
+"""Bench: regenerate Figure 6 (Figure-5 metrics on scaled instances, §6.4)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.fig5 import run_fig5
+
+QUICK_SCALED = (
+    ("alu4", 3),
+    ("arbiter", 3),
+    ("b15_C2", 2),
+)
+
+
+def test_fig6(benchmark, config, shared_runner):
+    full = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    if full:
+        from repro.experiments.fig6 import run_fig6
+
+        result = benchmark.pedantic(
+            run_fig6,
+            kwargs={"config": config, "runner": shared_runner},
+            rounds=1,
+            iterations=1,
+        )
+    else:
+        result = benchmark.pedantic(
+            run_fig5,
+            kwargs={
+                "config": config,
+                "runner": shared_runner,
+                "workload": list(QUICK_SCALED),
+                "title": "Figure 6",
+            },
+            rounds=1,
+            iterations=1,
+        )
+    print()
+    print(result.render())
+    assert result.points

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 7 (random vs hybrid traces on apex2/cps, §6.5)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7(benchmark, config, shared_runner):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs={
+            "config": config,
+            "runner": shared_runner,
+            "iterations": 25,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    for bench_name, traces in result.traces.items():
+        by_label = {t.label: t for t in traces}
+        rand_final = by_label["RandS"].costs[-1]
+        simgen_final = by_label["RandS->SimGen"].costs[-1]
+        # Reproduction shape: the SimGen hybrid ends at or below the pure
+        # random plateau (it shares the random prefix, then keeps splitting).
+        assert simgen_final <= rand_final, bench_name

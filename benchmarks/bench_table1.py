@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 1 (cost / sim runtime of all five strategies).
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` times one full
+Table-1 matrix and prints the table the paper reports (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, config, shared_runner):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"config": config, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    # Reproduction shape: every SimGen variant must beat RevS on aggregate
+    # cost, mirroring the paper's Table 1 ordering.
+    assert result.aggregate_cost["AI+DC+MFFC"] < 1.0
+    assert result.aggregate_cost["AI+RD"] < 1.0
+    assert result.aggregate_cost["SI+RD"] < 1.0

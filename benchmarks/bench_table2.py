@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 2 (SAT calls & SAT time, RevS vs SimGen, §6.3)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, config, shared_runner):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"config": config, "runner": shared_runner},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    total_revs = sum(r.revs.sat_calls for r in result.rows)
+    total_sgen = sum(r.sgen.sat_calls for r in result.rows)
+    # Reproduction shape: SimGen issues no more SAT calls overall.
+    assert total_sgen <= total_revs

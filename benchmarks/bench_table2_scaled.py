@@ -1,0 +1,28 @@
+"""Bench: Table 2's lower half — &putontop-scaled instances (§6.4)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.table2 import run_table2
+
+#: Scaled-down copy counts for the interactive run; REPRO_FULL uses the
+#: EXPERIMENTS.md workload from repro.experiments.config.
+QUICK_SCALED = (
+    ("alu4", 3),
+    ("arbiter", 3),
+    ("b15_C2", 2),
+)
+
+
+def test_table2_scaled(benchmark, config, shared_runner):
+    full = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    kwargs = {"config": config, "runner": shared_runner, "scaled": True}
+    if not full:
+        kwargs["scaled_benchmarks"] = QUICK_SCALED
+    result = benchmark.pedantic(
+        run_table2, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert all(row.copies >= 2 for row in result.rows)

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  By default a
+small benchmark subset keeps ``pytest benchmarks/ --benchmark-only`` under a
+few minutes; set ``REPRO_FULL=1`` to run the full 42-benchmark matrix (the
+numbers recorded in EXPERIMENTS.md), or use
+``python -m repro.experiments all`` directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, QUICK_BENCHMARKS
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Tiny default so the whole harness stays interactive.
+BENCH_BENCHMARKS = (
+    None if FULL else ("alu4", "apex2", "cps", "priority", "b14_C")
+)
+
+
+def bench_config() -> ExperimentConfig:
+    """The configuration benches run with."""
+    if BENCH_BENCHMARKS is None:
+        return ExperimentConfig()
+    return ExperimentConfig(benchmarks=BENCH_BENCHMARKS)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def shared_runner(config):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(config)

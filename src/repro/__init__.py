@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *SimGen: Simulation Pattern Generation
+for Efficient Equivalence Checking* (DATE 2025).
+
+The package layers, bottom-up:
+
+* :mod:`repro.logic` — truth tables, cubes/rows with don't-cares, ISOP.
+* :mod:`repro.network` — Boolean-network DAG, cones, MFFCs.
+* :mod:`repro.io` — BLIF / ISCAS .bench readers and writers.
+* :mod:`repro.simulation` — bit-parallel circuit simulation.
+* :mod:`repro.sat` — a CDCL SAT solver and Tseitin/miter encodings.
+* :mod:`repro.mapping` — K-feasible cuts and LUT mapping (``if -K 6``).
+* :mod:`repro.transforms` — strash, function-preserving rewrites, putontop.
+* :mod:`repro.sweep` — equivalence classes, SAT sweeping, CEC.
+* :mod:`repro.core` — **SimGen**: implication/decision-driven vector
+  generation (Algorithm 1), plus the random and reverse-simulation
+  baselines.
+* :mod:`repro.benchgen` — the 42-benchmark synthetic suite.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro.benchgen import sweep_instance
+    from repro.core import make_generator
+    from repro.sweep import SweepEngine, SweepConfig
+
+    network = sweep_instance("apex2")
+    simgen = make_generator("AI+DC+MFFC", network, seed=1)
+    engine = SweepEngine(network, simgen, SweepConfig(iterations=20))
+    result = engine.run()
+    print(result.metrics.sat_calls, "SAT calls,",
+          len(result.equivalences), "equivalences proven")
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    GenerationError,
+    LogicError,
+    MappingError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    SatError,
+    SimulationError,
+    SweepError,
+)
+
+__all__ = [
+    "GenerationError",
+    "LogicError",
+    "MappingError",
+    "NetworkError",
+    "ParseError",
+    "ReproError",
+    "SatError",
+    "SimulationError",
+    "SweepError",
+    "__version__",
+]

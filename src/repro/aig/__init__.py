@@ -1,0 +1,31 @@
+"""And-Inverter Graphs: complemented edges, strashing, conversions."""
+
+from repro.aig.aig import (
+    FALSE,
+    TRUE,
+    Aig,
+    AigNode,
+    lit,
+    lit_node,
+    lit_not,
+    lit_phase,
+)
+from repro.aig.aiger import aag_text, parse_aag, read_aag, write_aag
+from repro.aig.convert import aig_to_network, network_to_aig
+
+__all__ = [
+    "Aig",
+    "AigNode",
+    "FALSE",
+    "TRUE",
+    "aag_text",
+    "aig_to_network",
+    "lit",
+    "lit_node",
+    "lit_not",
+    "lit_phase",
+    "network_to_aig",
+    "parse_aag",
+    "read_aag",
+    "write_aag",
+]

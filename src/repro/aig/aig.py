@@ -1,0 +1,296 @@
+"""And-Inverter Graphs with complemented edges and structural hashing.
+
+The AIG is the canonical representation of modern SAT-sweeping tools
+(ABC's GIA): every node is a 2-input AND, inversion is a bit on the edge,
+and structural hashing makes identical AND pairs share one node.  This
+package complements the table-based :class:`~repro.network.network.Network`
+(which models LUTs) with the representation equivalence checkers actually
+strash into.
+
+A *literal* is ``2 * node_index + phase``; node 0 is the constant FALSE,
+so literal 0 is const0 and literal 1 is const1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import NetworkError
+
+#: Literal of constant false / true.
+FALSE = 0
+TRUE = 1
+
+
+def lit(node: int, phase: int = 0) -> int:
+    """The literal of ``node`` with the given phase (1 = complemented)."""
+    if node < 0 or phase not in (0, 1):
+        raise NetworkError(f"bad literal components ({node}, {phase})")
+    return 2 * node + phase
+
+
+def lit_node(literal: int) -> int:
+    """The node index of a literal."""
+    return literal >> 1
+
+
+def lit_phase(literal: int) -> int:
+    """The phase bit of a literal."""
+    return literal & 1
+
+
+def lit_not(literal: int) -> int:
+    """The complemented literal."""
+    return literal ^ 1
+
+
+@dataclass(slots=True)
+class AigNode:
+    """One AIG node: a PI or a 2-input AND over literals."""
+
+    index: int
+    fanin0: int = -1  # literals; -1 for PIs / const
+    fanin1: int = -1
+    name: Optional[str] = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_pi(self) -> bool:
+        return self.fanin0 < 0 and self.index != 0
+
+    @property
+    def is_and(self) -> bool:
+        return self.fanin0 >= 0
+
+
+class Aig:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self, name: str = "aig"):
+        self.name = name
+        self._nodes: list[AigNode] = [AigNode(0)]  # node 0 = const FALSE
+        self._pis: list[int] = []
+        self._pos: list[tuple[str, int]] = []  # (name, literal)
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pi(self, name: Optional[str] = None) -> int:
+        """Create a primary input; returns its (positive) literal."""
+        index = len(self._nodes)
+        self._nodes.append(AigNode(index, name=name))
+        self._pis.append(index)
+        return lit(index)
+
+    def add_po(self, literal: int, name: Optional[str] = None) -> None:
+        """Expose a literal as a primary output."""
+        self._check_literal(literal)
+        if name is None:
+            name = f"po{len(self._pos)}"
+        self._pos.append((name, literal))
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals with constant/trivial simplification.
+
+        Applies the standard one-level rules (0 dominates, 1 is neutral,
+        ``x & x = x``, ``x & ~x = 0``) and strashes: an (a, b) pair already
+        built returns the existing node's literal.
+        """
+        self._check_literal(a)
+        self._check_literal(b)
+        if a > b:
+            a, b = b, a
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE
+        key = (a, b)
+        if key in self._strash:
+            return lit(self._strash[key])
+        index = len(self._nodes)
+        self._nodes.append(AigNode(index, a, b))
+        self._strash[key] = index
+        return lit(index)
+
+    # Derived operators ---------------------------------------------------
+    def or_(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR as (a & ~b) | (~a & b)."""
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def mux_(self, d0: int, d1: int, sel: int) -> int:
+        """2:1 mux: sel ? d1 : d0."""
+        return self.or_(self.and_(lit_not(sel), d0), self.and_(sel, d1))
+
+    def and_many(self, literals: list[int]) -> int:
+        """Balanced AND tree over a literal list (TRUE for empty)."""
+        if not literals:
+            return TRUE
+        layer = list(literals)
+        while len(layer) > 1:
+            nxt = [
+                self.and_(layer[i], layer[i + 1])
+                for i in range(0, len(layer) - 1, 2)
+            ]
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def or_many(self, literals: list[int]) -> int:
+        """Balanced OR tree over a literal list (FALSE for empty)."""
+        return lit_not(self.and_many([lit_not(l) for l in literals]))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _check_literal(self, literal: int) -> None:
+        if literal < 0 or lit_node(literal) >= len(self._nodes):
+            raise NetworkError(f"literal {literal} out of range")
+
+    def node(self, index: int) -> AigNode:
+        try:
+            return self._nodes[index]
+        except IndexError as exc:
+            raise NetworkError(f"no AIG node {index}") from exc
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes including const0 and PIs."""
+        return len(self._nodes)
+
+    @property
+    def num_ands(self) -> int:
+        return sum(1 for n in self._nodes if n.is_and)
+
+    @property
+    def pis(self) -> tuple[int, ...]:
+        """PI node indices in creation order."""
+        return tuple(self._pis)
+
+    @property
+    def pos(self) -> tuple[tuple[str, int], ...]:
+        """(name, literal) pairs."""
+        return tuple(self._pos)
+
+    def ands(self) -> Iterator[AigNode]:
+        """AND nodes in topological (creation) order."""
+        return (n for n in self._nodes if n.is_and)
+
+    def levels(self) -> dict[int, int]:
+        """Level per node (PIs and const at 0)."""
+        level: dict[int, int] = {}
+        for node in self._nodes:
+            if node.is_and:
+                level[node.index] = 1 + max(
+                    level[lit_node(node.fanin0)], level[lit_node(node.fanin1)]
+                )
+            else:
+                level[node.index] = 0
+        return level
+
+    def depth(self) -> int:
+        """Maximum level."""
+        levels = self.levels()
+        return max(levels.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def simulate(self, pi_words: dict[int, int], width: int) -> dict[int, int]:
+        """Bit-parallel evaluation; returns node index -> packed word."""
+        mask = (1 << width) - 1
+        values: dict[int, int] = {0: 0}
+        for index in self._pis:
+            if index not in pi_words:
+                raise NetworkError(f"missing word for AIG PI {index}")
+            values[index] = pi_words[index] & mask
+
+        def lit_value(literal: int) -> int:
+            value = values[lit_node(literal)]
+            return (value ^ mask) if lit_phase(literal) else value
+
+        for node in self._nodes:
+            if node.is_and:
+                values[node.index] = lit_value(node.fanin0) & lit_value(
+                    node.fanin1
+                )
+        return values
+
+    def evaluate(self, pi_values: dict[int, int]) -> dict[str, int]:
+        """Single-pattern evaluation; returns PO name -> 0/1."""
+        values = self.simulate(pi_values, 1)
+
+        def lit_value(literal: int) -> int:
+            return values[lit_node(literal)] ^ lit_phase(literal)
+
+        return {name: lit_value(literal) for name, literal in self._pos}
+
+    # ------------------------------------------------------------------
+    def cleanup(self) -> int:
+        """Drop AND nodes unreachable from the POs; returns count removed.
+
+        Rebuilds the graph (indices change); strash state is preserved for
+        the surviving structure.
+        """
+        reachable = {0}
+        stack = [lit_node(l) for _, l in self._pos]
+        while stack:
+            index = stack.pop()
+            if index in reachable:
+                continue
+            reachable.add(index)
+            node = self._nodes[index]
+            if node.is_and:
+                stack.append(lit_node(node.fanin0))
+                stack.append(lit_node(node.fanin1))
+        reachable.update(self._pis)
+
+        remap: dict[int, int] = {}
+        new_nodes: list[AigNode] = []
+        for node in self._nodes:
+            if node.index not in reachable:
+                continue
+            new_index = len(new_nodes)
+            remap[node.index] = new_index
+            if node.is_and:
+                new_nodes.append(
+                    AigNode(
+                        new_index,
+                        lit(remap[lit_node(node.fanin0)], lit_phase(node.fanin0)),
+                        lit(remap[lit_node(node.fanin1)], lit_phase(node.fanin1)),
+                        node.name,
+                    )
+                )
+            else:
+                new_nodes.append(AigNode(new_index, name=node.name))
+        removed = len(self._nodes) - len(new_nodes)
+        self._nodes = new_nodes
+        self._pis = [remap[i] for i in self._pis]
+        self._pos = [
+            (name, lit(remap[lit_node(l)], lit_phase(l))) for name, l in self._pos
+        ]
+        self._strash = {
+            (n.fanin0, n.fanin1): n.index for n in self._nodes if n.is_and
+        }
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Aig({self.name!r}: {len(self._pis)} PIs, {self.num_ands} ANDs, "
+            f"{len(self._pos)} POs)"
+        )

@@ -1,0 +1,158 @@
+"""AIGER ASCII (.aag) reader and writer.
+
+AIGER is the interchange format of the hardware model-checking world
+(and of ABC's ``&r``/``&w``).  The combinational ASCII subset is
+supported: header ``aag M I L O A`` with L = 0, one literal per input
+line, one per output line, and ``lhs rhs0 rhs1`` AND lines.  Symbol-table
+entries (``i0 name`` / ``o0 name``) and comments are honored.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.aig.aig import Aig, lit, lit_node, lit_phase
+from repro.errors import ParseError
+
+
+def write_aag(aig: Aig, handle: TextIO) -> None:
+    """Serialize an AIG in ASCII AIGER format.
+
+    Node indices are compacted so that inputs occupy variables
+    ``1..I`` and ANDs ``I+1..I+A``, as the format requires.
+    """
+    remap: dict[int, int] = {0: 0}
+    for position, index in enumerate(aig.pis, start=1):
+        remap[index] = position
+    and_nodes = list(aig.ands())
+    for position, node in enumerate(and_nodes, start=len(aig.pis) + 1):
+        remap[node.index] = position
+
+    def map_lit(literal: int) -> int:
+        return lit(remap[lit_node(literal)], lit_phase(literal))
+
+    max_var = len(aig.pis) + len(and_nodes)
+    handle.write(
+        f"aag {max_var} {len(aig.pis)} 0 {len(aig.pos)} {len(and_nodes)}\n"
+    )
+    for index in aig.pis:
+        handle.write(f"{lit(remap[index])}\n")
+    for _, literal in aig.pos:
+        handle.write(f"{map_lit(literal)}\n")
+    for node in and_nodes:
+        handle.write(
+            f"{lit(remap[node.index])} {map_lit(node.fanin0)} "
+            f"{map_lit(node.fanin1)}\n"
+        )
+    for position, index in enumerate(aig.pis):
+        name = aig.node(index).name
+        if name:
+            handle.write(f"i{position} {name}\n")
+    for position, (name, _) in enumerate(aig.pos):
+        handle.write(f"o{position} {name}\n")
+
+
+def aag_text(aig: Aig) -> str:
+    """The .aag serialization as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+def parse_aag(text: str) -> Aig:
+    """Parse ASCII AIGER text into an :class:`~repro.aig.aig.Aig`."""
+    lines = text.splitlines()
+    if not lines:
+        raise ParseError("empty AIGER file")
+    header = lines[0].split()
+    if len(header) != 6 or header[0] != "aag":
+        raise ParseError(f"bad AIGER header {lines[0]!r}", line=1)
+    try:
+        max_var, num_in, num_latch, num_out, num_and = map(int, header[1:])
+    except ValueError as exc:
+        raise ParseError(f"non-numeric AIGER header {lines[0]!r}", 1) from exc
+    if num_latch != 0:
+        raise ParseError("latches are not supported (combinational subset)")
+    expected = 1 + num_in + num_out + num_and
+    if len(lines) < expected:
+        raise ParseError(
+            f"AIGER body truncated: {len(lines)} lines < {expected}"
+        )
+
+    aig = Aig("aag")
+    # Literal translation table, filled as definitions appear.
+    translate: dict[int, int] = {0: 0, 1: 1}
+
+    def define(file_lit: int, our_lit: int) -> None:
+        if file_lit & 1:
+            raise ParseError(f"definition of complemented literal {file_lit}")
+        translate[file_lit] = our_lit
+        translate[file_lit + 1] = our_lit ^ 1
+
+    def resolve(file_lit: int, line_no: int) -> int:
+        try:
+            return translate[file_lit]
+        except KeyError as exc:
+            raise ParseError(
+                f"literal {file_lit} used before definition", line_no
+            ) from exc
+
+    cursor = 1
+    input_lits: list[int] = []
+    for position in range(num_in):
+        file_lit = int(lines[cursor].split()[0])
+        define(file_lit, aig.add_pi())
+        input_lits.append(file_lit)
+        cursor += 1
+    output_lits = []
+    for position in range(num_out):
+        output_lits.append(int(lines[cursor].split()[0]))
+        cursor += 1
+    # AND definitions may reference later definitions only in malformed
+    # files; AIGER requires topological order, which we enforce.
+    pending_ands = []
+    for position in range(num_and):
+        parts = lines[cursor].split()
+        if len(parts) != 3:
+            raise ParseError(f"bad AND line {lines[cursor]!r}", cursor + 1)
+        lhs, rhs0, rhs1 = map(int, parts)
+        built = aig.and_(
+            resolve(rhs0, cursor + 1), resolve(rhs1, cursor + 1)
+        )
+        define(lhs, built)
+        cursor += 1
+
+    # Symbol table.
+    pi_names: dict[int, str] = {}
+    po_names: dict[int, str] = {}
+    for raw in lines[cursor:]:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("c"):
+            break
+        kind = stripped[0]
+        try:
+            index_text, name = stripped[1:].split(" ", 1)
+            position = int(index_text)
+        except ValueError:
+            continue
+        if kind == "i":
+            pi_names[position] = name
+        elif kind == "o":
+            po_names[position] = name
+
+    for position, index in enumerate(aig.pis):
+        if position in pi_names:
+            aig.node(index).name = pi_names[position]
+    for position, file_lit in enumerate(output_lits):
+        aig.add_po(
+            resolve(file_lit, 0), po_names.get(position, f"po{position}")
+        )
+    return aig
+
+
+def read_aag(path) -> Aig:
+    """Read a .aag file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_aag(handle.read())

@@ -1,0 +1,85 @@
+"""Conversions between table-based networks and AIGs.
+
+``network_to_aig`` synthesizes each gate's truth table into AND/INV logic
+through its ISOP cover (a cube becomes an AND of literals, the cover an OR
+of cubes) — with structural hashing this is a reasonable strash.
+``aig_to_network`` re-expresses the AIG as a gate network of 2-input ANDs
+and inverters, so the whole toolbox (mapping, sweeping, SimGen) applies to
+AIG-sourced designs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aig.aig import FALSE, TRUE, Aig, lit_node, lit_not, lit_phase
+from repro.logic import gates
+from repro.logic.cubes import isop
+from repro.network.network import Network
+
+
+def network_to_aig(network: Network, name: Optional[str] = None) -> Aig:
+    """Synthesize a gate network into a structurally hashed AIG."""
+    aig = Aig(name or network.name)
+    literal_of: dict[int, int] = {}
+    for pi in network.pis:
+        literal_of[pi] = aig.add_pi(network.node(pi).name)
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi:
+            continue
+        if node.is_const:
+            literal_of[uid] = TRUE if node.table.bits else FALSE
+            continue
+        fanin_lits = [literal_of[f] for f in node.fanins]
+        terms = []
+        for cube in isop(node.table):
+            cube_lits = []
+            for i, value in enumerate(cube.literals()):
+                if value is None:
+                    continue
+                cube_lits.append(
+                    fanin_lits[i] if value else lit_not(fanin_lits[i])
+                )
+            terms.append(aig.and_many(cube_lits))
+        literal_of[uid] = aig.or_many(terms)
+    for po_name, uid in network.pos:
+        aig.add_po(literal_of[uid], po_name)
+    return aig
+
+
+def aig_to_network(aig: Aig, name: Optional[str] = None) -> Network:
+    """Express an AIG as a network of 2-input AND gates and inverters."""
+    network = Network(name or aig.name)
+    node_of: dict[int, int] = {}
+    inverter_of: dict[int, int] = {}
+    const0: Optional[int] = None
+
+    def ensure_const0() -> int:
+        nonlocal const0
+        if const0 is None:
+            const0 = network.add_const(False)
+        return const0
+
+    for index in aig.pis:
+        node_of[index] = network.add_pi(aig.node(index).name)
+
+    def literal_node(literal: int) -> int:
+        index = lit_node(literal)
+        if index == 0:
+            base = ensure_const0()
+        else:
+            base = node_of[index]
+        if not lit_phase(literal):
+            return base
+        if base not in inverter_of:
+            inverter_of[base] = network.add_gate(gates.inv(), (base,))
+        return inverter_of[base]
+
+    for node in aig.ands():
+        a = literal_node(node.fanin0)
+        b = literal_node(node.fanin1)
+        node_of[node.index] = network.add_gate(gates.and_gate(2), (a, b))
+    for po_name, literal in aig.pos:
+        network.add_po(literal_node(literal), po_name)
+    return network

@@ -1,0 +1,19 @@
+"""Synthetic stand-ins for the VTR / EPFL / ITC'99 benchmark suites."""
+
+from repro.benchgen.suite import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    FIG7_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    sweep_instance,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "FIG7_BENCHMARKS",
+    "benchmark_names",
+    "build_benchmark",
+    "sweep_instance",
+]

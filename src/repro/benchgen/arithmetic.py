@@ -1,0 +1,155 @@
+"""Arithmetic benchmark generators (alu4, dalu, square, sin, log2, cordic...).
+
+Each function builds a combinational datapath whose character matches the
+named benchmark family: ALUs mux several word operations under an opcode,
+``square`` multiplies a word by itself, ``log2``/``sin``/``cordic`` are
+shift-add iterative approximations (unrolled), matching the EPFL
+arithmetic suite's flavor at Python-tractable sizes.
+"""
+
+from __future__ import annotations
+
+from repro.network.build import NetworkBuilder
+from repro.network.network import Network
+
+
+def alu(name: str, width: int = 4, seed: int = 0) -> Network:
+    """A small ALU: add / sub / and / or / xor / slt selected by opcode."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(width, "a")
+    b = builder.pis(width, "b")
+    op = builder.pis(3, "op")
+
+    add_bits, add_carry = builder.ripple_adder(a, b)
+    sub_bits, _ = builder.subtractor(a, b)
+    and_bits = [builder.and_(x, y) for x, y in zip(a, b)]
+    or_bits = [builder.or_(x, y) for x, y in zip(a, b)]
+    xor_bits = [builder.xor_(x, y) for x, y in zip(a, b)]
+    slt = builder.less_than(a, b)
+    zero = builder.const(False)
+    slt_bits = [slt] + [zero] * (width - 1)
+
+    choices = [add_bits, sub_bits, and_bits, or_bits, xor_bits, slt_bits]
+    # 3-level mux tree indexed by opcode bits.
+    while len(choices) < 8:
+        choices.append(add_bits)
+    for bit in range(width):
+        level0 = [
+            builder.mux_(choices[2 * j][bit], choices[2 * j + 1][bit], op[0])
+            for j in range(4)
+        ]
+        level1 = [
+            builder.mux_(level0[2 * j], level0[2 * j + 1], op[1])
+            for j in range(2)
+        ]
+        builder.po(builder.mux_(level1[0], level1[1], op[2]), f"r{bit}")
+    builder.po(add_carry, "cout")
+    return builder.build()
+
+
+def square(name: str, width: int = 5, seed: int = 0) -> Network:
+    """Squarer: the EPFL ``square`` benchmark's shape (a * a)."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(width, "a")
+    product = builder.multiplier(a, a)
+    for j, bit in enumerate(product):
+        builder.po(bit, f"p{j}")
+    return builder.build()
+
+
+def multiplier(name: str, width: int = 4, seed: int = 0) -> Network:
+    """Array multiplier of two words."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(width, "a")
+    b = builder.pis(width, "b")
+    product = builder.multiplier(a, b)
+    for j, bit in enumerate(product):
+        builder.po(bit, f"p{j}")
+    return builder.build()
+
+
+def log2_approx(name: str, width: int = 8, seed: int = 0) -> Network:
+    """Leading-one position + fractional bits (integer log2 approximation)."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(width, "a")
+    # found[i]: some bit above position i (inclusive) is set.
+    found = a[width - 1]
+    position_bits = max(1, (width - 1).bit_length())
+    position = [builder.const(False) for _ in range(position_bits)]
+    for i in reversed(range(width)):
+        if i < width - 1:
+            found = builder.or_(found, a[i])
+        # If a[i] is the leading one, encode i into position.
+        higher = builder.reduce_tree(
+            "or", [a[j] for j in range(i + 1, width)]
+        ) if i + 1 < width else builder.const(False)
+        is_leading = builder.and_(a[i], builder.not_(higher))
+        for bit in range(position_bits):
+            if (i >> bit) & 1:
+                position[bit] = builder.or_(position[bit], is_leading)
+    for bit, node in enumerate(position):
+        builder.po(node, f"log{bit}")
+    builder.po(found, "nonzero")
+    # Fractional part: the two bits right below the leading one.
+    for frac in range(2):
+        terms = []
+        for i in range(frac + 1, width):
+            higher = (
+                builder.reduce_tree("or", [a[j] for j in range(i + 1, width)])
+                if i + 1 < width
+                else builder.const(False)
+            )
+            is_leading = builder.and_(a[i], builder.not_(higher))
+            terms.append(builder.and_(is_leading, a[i - frac - 1]))
+        builder.po(builder.reduce_tree("or", terms), f"frac{frac}")
+    return builder.build()
+
+
+def cordic(name: str, width: int = 6, iterations: int = 3, seed: int = 0) -> Network:
+    """Unrolled CORDIC-style shift-add rotations.
+
+    Each iteration conditionally adds/subtracts a shifted copy of the other
+    coordinate, the condition driven by an angle input bit — the shape of
+    the VTR ``cordic`` benchmark, scaled down.
+    """
+    builder = NetworkBuilder(name)
+    x = builder.pis(width, "x")
+    y = builder.pis(width, "y")
+    angle = builder.pis(iterations, "z")
+    zero = builder.const(False)
+    for step in range(iterations):
+        shift = step + 1
+        x_shift = [zero] * min(shift, width) + x[: max(0, width - shift)]
+        y_shift = [zero] * min(shift, width) + y[: max(0, width - shift)]
+        x_add, _ = builder.ripple_adder(x, y_shift)
+        x_sub, _ = builder.subtractor(x, y_shift)
+        y_add, _ = builder.ripple_adder(y, x_shift)
+        y_sub, _ = builder.subtractor(y, x_shift)
+        direction = angle[step]
+        x = [builder.mux_(xa, xs, direction) for xa, xs in zip(x_add, x_sub)]
+        y = [builder.mux_(ys, ya, direction) for ya, ys in zip(y_add, y_sub)]
+    for j, bit in enumerate(x):
+        builder.po(bit, f"xo{j}")
+    for j, bit in enumerate(y):
+        builder.po(bit, f"yo{j}")
+    return builder.build()
+
+
+def sin_approx(name: str, width: int = 6, seed: int = 0) -> Network:
+    """Piecewise polynomial sine: squaring + scaled adds (EPFL ``sin`` shape)."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(width, "a")
+    zero = builder.const(False)
+    # x^2 (truncated to width), then sin(x) ~ x - x^3/6 via shift-adds.
+    sq_full = builder.multiplier(a, a)
+    sq = sq_full[width:]  # keep the high half as the fixed-point square
+    cube_full = builder.multiplier(sq, a)
+    cube = cube_full[width:]
+    # divide by ~8 (shift 3) + by ~32 correction to approximate /6
+    cube_8 = [zero] * 0 + cube[3:] + [zero] * 3
+    cube_32 = cube[5:] + [zero] * 5
+    corr, _ = builder.ripple_adder(cube_8[:width], cube_32[:width])
+    result, _ = builder.subtractor(a, corr)
+    for j, bit in enumerate(result):
+        builder.po(bit, f"s{j}")
+    return builder.build()

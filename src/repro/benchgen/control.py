@@ -1,0 +1,192 @@
+"""Control-logic benchmark generators (arbiter, dec, priority, voter, ...).
+
+These mirror the EPFL *random/control* suite and a few MCNC circuits:
+decoders, priority encoders, round-robin-flavored arbiters, majority
+voters, S-box rounds (``des``) and a memory-controller-style address
+decode block (``m_ctrl``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.network.build import NetworkBuilder
+from repro.network.network import Network
+
+
+def decoder(name: str, bits: int = 5, seed: int = 0) -> Network:
+    """Full ``bits``-to-2**bits decoder (EPFL ``dec``)."""
+    builder = NetworkBuilder(name)
+    a = builder.pis(bits, "a")
+    for value in range(1 << bits):
+        builder.po(builder.equal_const(a, value), f"d{value}")
+    return builder.build()
+
+
+def priority_encoder(name: str, width: int = 12, seed: int = 0) -> Network:
+    """Priority encoder with valid flag (EPFL ``priority``)."""
+    builder = NetworkBuilder(name)
+    req = builder.pis(width, "r")
+    position_bits = max(1, (width - 1).bit_length())
+    position = [builder.const(False) for _ in range(position_bits)]
+    valid = builder.reduce_tree("or", req)
+    for i in range(width):
+        higher = (
+            builder.reduce_tree("or", [req[j] for j in range(i)])
+            if i > 0
+            else builder.const(False)
+        )
+        grant = builder.and_(req[i], builder.not_(higher))
+        builder.po(grant, f"g{i}")
+        for bit in range(position_bits):
+            if (i >> bit) & 1:
+                position[bit] = builder.or_(position[bit], grant)
+    for bit, node in enumerate(position):
+        builder.po(node, f"p{bit}")
+    builder.po(valid, "valid")
+    return builder.build()
+
+
+def arbiter(name: str, width: int = 8, seed: int = 0) -> Network:
+    """Masked priority arbiter (EPFL ``arbiter`` flavor).
+
+    A pointer word masks the requests; grants go to the first unmasked
+    request, falling back to the first request overall when the masked set
+    is empty.
+    """
+    builder = NetworkBuilder(name)
+    req = builder.pis(width, "r")
+    pointer = builder.pis(width, "m")
+    masked = [builder.and_(r, m) for r, m in zip(req, pointer)]
+
+    def first_grant(signals):
+        grants = []
+        for i, s in enumerate(signals):
+            higher = (
+                builder.reduce_tree("or", signals[:i])
+                if i > 0
+                else builder.const(False)
+            )
+            grants.append(builder.and_(s, builder.not_(higher)))
+        return grants
+
+    grant_masked = first_grant(masked)
+    grant_any = first_grant(req)
+    any_masked = builder.reduce_tree("or", masked)
+    for i in range(width):
+        builder.po(
+            builder.mux_(grant_any[i], grant_masked[i], any_masked), f"g{i}"
+        )
+    builder.po(any_masked, "hit")
+    return builder.build()
+
+
+def voter(name: str, width: int = 9, seed: int = 0) -> Network:
+    """Majority voter over ``width`` inputs (EPFL ``voter`` shape).
+
+    Counts ones with a full-adder tree and compares against width/2.
+    """
+    builder = NetworkBuilder(name)
+    inputs = builder.pis(width, "v")
+    # Carry-save population count: bits[k] = signals of weight 2^k.
+    bits: list[list[int]] = [list(inputs)]
+    column = 0
+    while column < len(bits):
+        while len(bits[column]) >= 3:
+            a = bits[column].pop()
+            b = bits[column].pop()
+            c = bits[column].pop()
+            s, carry = builder.full_adder(a, b, c)
+            bits[column].append(s)
+            if column + 1 == len(bits):
+                bits.append([])
+            bits[column + 1].append(carry)
+        if len(bits[column]) == 2:
+            a = bits[column].pop()
+            b = bits[column].pop()
+            s, carry = builder.half_adder(a, b)
+            bits[column].append(s)
+            if column + 1 == len(bits):
+                bits.append([])
+            bits[column + 1].append(carry)
+        column += 1
+    count = [col[0] if col else builder.const(False) for col in bits]
+    threshold = width // 2  # majority: count > threshold
+    const_bits = [
+        builder.const(bool((threshold >> k) & 1)) for k in range(len(count))
+    ]
+    gt = builder.less_than(const_bits, count)
+    builder.po(gt, "majority")
+    for k, node in enumerate(count):
+        builder.po(node, f"cnt{k}")
+    return builder.build()
+
+
+def sbox_round(name: str, sboxes: int = 4, seed: int = 0) -> Network:
+    """One S-box substitution + permutation round (``des`` flavor)."""
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    data = builder.pis(6 * sboxes, "d")
+    key = builder.pis(6 * sboxes, "k")
+    mixed = [builder.xor_(d, k) for d, k in zip(data, key)]
+    outputs: list[int] = []
+    from repro.logic.truthtable import TruthTable
+
+    for box in range(sboxes):
+        chunk = mixed[6 * box : 6 * box + 6]
+        for out_bit in range(4):
+            table = TruthTable(6, rng.getrandbits(64))
+            outputs.append(builder.table(table, chunk))
+    rng.shuffle(outputs)
+    for j, node in enumerate(outputs):
+        builder.po(node, f"o{j}")
+    return builder.build()
+
+
+def mem_ctrl(name: str, addr_bits: int = 8, banks: int = 4, seed: int = 0) -> Network:
+    """Memory-controller-style address decode and command logic (m_ctrl)."""
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    addr = builder.pis(addr_bits, "a")
+    cmd = builder.pis(3, "c")
+    refresh = builder.pis(2, "f")
+    bank_bits = max(1, (banks - 1).bit_length())
+    bank_sel = addr[:bank_bits]
+    row = addr[bank_bits:]
+
+    read = builder.equal_const(cmd, 1)
+    write = builder.equal_const(cmd, 2)
+    precharge = builder.equal_const(cmd, 3)
+    activate = builder.equal_const(cmd, 4)
+    busy = builder.or_(refresh[0], refresh[1])
+
+    for bank in range(banks):
+        selected = builder.equal_const(bank_sel, bank)
+        for signal, tag in ((read, "rd"), (write, "wr"), (precharge, "pre"), (activate, "act")):
+            enable = builder.and_(selected, signal)
+            builder.po(builder.and_(enable, builder.not_(busy)), f"b{bank}_{tag}")
+    # Row-address comparators against random open-row constants.
+    for bank in range(banks):
+        open_row = rng.getrandbits(len(row)) if row else 0
+        hit = builder.equal_const(row, open_row) if row else builder.const(True)
+        builder.po(builder.and_(hit, builder.equal_const(bank_sel, bank)), f"hit{bank}")
+    builder.po(busy, "busy")
+    return builder.build()
+
+
+def parity_encoder(name: str, width: int = 16, seed: int = 0) -> Network:
+    """Hamming-style parity/ECC encoder (e64 flavor, scaled)."""
+    builder = NetworkBuilder(name)
+    data = builder.pis(width, "d")
+    groups = max(1, width.bit_length())
+    for g in range(groups):
+        members = [data[i] for i in range(width) if (i >> g) & 1]
+        if not members:
+            continue
+        builder.po(builder.reduce_tree("xor", members), f"p{g}")
+    builder.po(builder.reduce_tree("xor", data), "overall")
+    for i in range(0, width, 4):
+        chunk = data[i : i + 4]
+        builder.po(builder.reduce_tree("and", chunk), f"all{i}")
+        builder.po(builder.reduce_tree("or", chunk), f"any{i}")
+    return builder.build()

@@ -1,0 +1,95 @@
+"""Random two-level (PLA-style) logic generators.
+
+Many MCNC/VTR benchmarks (apex*, misex*, table*, pdc, spla, ex1010, ...)
+are flat two-level control logic.  This module synthesizes circuits with
+the same character: a set of product terms over the inputs, OR-ed into the
+outputs, with controlled term overlap so that distinct outputs share logic
+(which creates near-equivalent nodes — the hard cases for random
+simulation).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.network.build import NetworkBuilder
+from repro.network.network import Network
+
+
+def random_pla(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_terms: int,
+    seed: int = 0,
+    literals_per_term: tuple[int, int] = (2, 5),
+    terms_per_output: tuple[int, int] = (2, 6),
+) -> Network:
+    """A random PLA: AND-plane of cubes, OR-plane onto the outputs.
+
+    Args:
+        literals_per_term: Inclusive range of bound literals per product term.
+        terms_per_output: Inclusive range of terms OR-ed per output.
+    """
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    inputs = builder.pis(num_inputs)
+    inverted = [builder.not_(x) for x in inputs]
+
+    terms: list[int] = []
+    for _ in range(num_terms):
+        k = rng.randint(*literals_per_term)
+        k = min(k, num_inputs)
+        chosen = rng.sample(range(num_inputs), k)
+        literals = [
+            inputs[i] if rng.random() < 0.5 else inverted[i] for i in chosen
+        ]
+        terms.append(builder.reduce_tree("and", literals))
+
+    for j in range(num_outputs):
+        count = min(rng.randint(*terms_per_output), num_terms)
+        chosen = rng.sample(terms, count)
+        output = builder.reduce_tree("or", chosen)
+        if rng.random() < 0.3:
+            output = builder.not_(output)
+        builder.po(output, f"o{j}")
+    return builder.build()
+
+
+def random_multilevel_pla(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_terms: int,
+    seed: int = 0,
+    depth: int = 2,
+    literals_per_term: tuple[int, int] = (2, 4),
+) -> Network:
+    """PLA layers stacked ``depth`` deep (seq/cps-like control logic).
+
+    Each layer's outputs become candidate literals of the next layer,
+    producing the reconvergent multi-level structure of collapsed FSM
+    next-state logic.  Wider ``literals_per_term`` makes layer signals
+    rarer to activate, which is what defeats random simulation.
+    """
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    signals = builder.pis(num_inputs)
+    for layer in range(depth):
+        pool = signals + [builder.not_(s) for s in signals]
+        layer_terms = []
+        for _ in range(num_terms):
+            k = min(rng.randint(*literals_per_term), len(pool))
+            literals = rng.sample(pool, k)
+            layer_terms.append(builder.reduce_tree("and", literals))
+        next_signals = []
+        width = num_outputs if layer == depth - 1 else max(6, num_inputs // 2)
+        for _ in range(width):
+            count = min(rng.randint(2, 4), len(layer_terms))
+            next_signals.append(
+                builder.reduce_tree("or", rng.sample(layer_terms, count))
+            )
+        signals = next_signals
+    for j, s in enumerate(signals):
+        builder.po(s, f"o{j}")
+    return builder.build()

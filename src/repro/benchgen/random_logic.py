@@ -1,0 +1,125 @@
+"""Random reconvergent logic generators (ITC'99 b14-b22 stand-ins).
+
+The ITC'99 circuits are processor-style control/datapath mixes.  The
+generator grows a random DAG with locality-biased fanin selection (recent
+signals are picked more often, creating deep reconvergent regions) and a
+sprinkle of word-level operators, which gives the mix of easy and hard
+equivalence candidates those benchmarks exhibit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.truthtable import TruthTable
+from repro.network.build import NetworkBuilder
+from repro.network.network import Network
+
+_GATE_POOL = ("and", "or", "nand", "nor", "xor", "xnor")
+
+
+def random_dag(
+    name: str,
+    num_inputs: int = 16,
+    num_gates: int = 150,
+    num_outputs: int = 12,
+    seed: int = 0,
+    locality: int = 24,
+    lut_fraction: float = 0.15,
+) -> Network:
+    """A random locality-biased DAG of 2-input gates and small LUTs.
+
+    Args:
+        locality: Fanins are drawn from the last ``locality`` signals with
+            high probability, producing reconvergence instead of a shallow
+            random bipartite mess.
+        lut_fraction: Fraction of nodes realized as random 3-4 input LUTs.
+    """
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    signals = builder.pis(num_inputs, "x")
+
+    def pick_fanin() -> int:
+        if len(signals) > locality and rng.random() < 0.75:
+            return signals[-rng.randint(1, locality)]
+        return rng.choice(signals)
+
+    for _ in range(num_gates):
+        if rng.random() < lut_fraction:
+            arity = rng.randint(3, 4)
+            fanins = []
+            while len(fanins) < arity:
+                candidate = pick_fanin()
+                if candidate not in fanins:
+                    fanins.append(candidate)
+            table = TruthTable(arity, rng.getrandbits(1 << arity))
+            signals.append(builder.table(table, fanins))
+        else:
+            kind = rng.choice(_GATE_POOL)
+            a, b = pick_fanin(), pick_fanin()
+            if a == b and kind in ("xor", "nand", "nor"):
+                b = rng.choice(signals)
+            signals.append(builder.gate(kind, [a, b]))
+
+    # Outputs: bias toward late (deep) signals so most logic is observable.
+    candidates = signals[num_inputs:]
+    chosen: list[int] = []
+    while len(chosen) < min(num_outputs, len(candidates)):
+        node = (
+            candidates[-rng.randint(1, max(1, len(candidates) // 3))]
+            if rng.random() < 0.7
+            else rng.choice(candidates)
+        )
+        if node not in chosen:
+            chosen.append(node)
+    for j, node in enumerate(chosen):
+        builder.po(node, f"y{j}")
+    network = builder.build()
+    network.remove_dangling()
+    return network
+
+
+def itc_like(
+    name: str,
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    seed: int,
+    datapath_width: int = 4,
+) -> Network:
+    """An ITC'99-style mix: random control DAG + a small ALU-ish datapath."""
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name)
+    ctrl_inputs = builder.pis(num_inputs, "x")
+    a = builder.pis(datapath_width, "a")
+    b = builder.pis(datapath_width, "b")
+
+    # Datapath: add/sub selected by a control signal.
+    add_bits, carry = builder.ripple_adder(a, b)
+    sub_bits, _ = builder.subtractor(a, b)
+
+    signals = list(ctrl_inputs)
+
+    def pick() -> int:
+        if len(signals) > 16 and rng.random() < 0.75:
+            return signals[-rng.randint(1, 16)]
+        return rng.choice(signals)
+
+    for _ in range(num_gates):
+        kind = rng.choice(_GATE_POOL)
+        x, y = pick(), pick()
+        if x == y:
+            y = rng.choice(signals)
+        signals.append(builder.gate(kind, [x, y]))
+
+    select = signals[-1]
+    result = [builder.mux_(s, d, select) for s, d in zip(add_bits, sub_bits)]
+    for j, bit in enumerate(result):
+        builder.po(bit, f"r{j}")
+    builder.po(carry, "cout")
+    produced = signals[len(ctrl_inputs):]
+    for j in range(min(num_outputs, len(produced))):
+        builder.po(produced[-(j * 3 + 1) % len(produced)], f"y{j}")
+    network = builder.build()
+    network.remove_dangling()
+    return network

@@ -1,0 +1,183 @@
+"""The 42-benchmark suite of the paper's evaluation (§6.1).
+
+The paper evaluates on VTR, EPFL, and ITC'99 circuits.  Those files are not
+redistributable here, so each name maps to a deterministic synthetic
+generator of the same *character* (see DESIGN.md, substitution 3) at
+Python-tractable sizes.  :func:`sweep_instance` prepares the sweeping
+workload exactly as §6.1 describes: strash the benchmark, optionally stack
+it with ``&putontop`` (§6.4), and LUT-map it with K=6 (``if -K 6``); an
+optional CEC mode unions the benchmark with a function-preserving rewritten
+copy of itself for the equivalence-checking example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchgen import arithmetic, control, pla, random_logic
+from repro.errors import ReproError
+from repro.mapping.lutmap import map_to_luts
+from repro.network.network import Network
+from repro.sweep.cec import union_network
+from repro.transforms.rewrite import rewrite
+from repro.transforms.putontop import put_on_top
+from repro.transforms.strash import strash
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkSpec:
+    """One named benchmark: its builder and provenance."""
+
+    name: str
+    suite: str  # "vtr" | "epfl" | "itc99"
+    build: Callable[[], Network]
+    description: str
+
+
+def _spec(name, suite, description, fn, *args, **kwargs) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name, suite, lambda: fn(name, *args, **kwargs), description
+    )
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        # ----- VTR / MCNC two-level & misc logic -----
+        _spec("alu4", "vtr", "4-op ALU", arithmetic.alu, width=8, seed=11),
+        _spec("apex1", "vtr", "PLA control", pla.random_pla, 30, 18, 100,
+              seed=21, literals_per_term=(4, 8)),
+        _spec("apex2", "vtr", "PLA control", pla.random_pla, 36, 14, 110,
+              seed=22, literals_per_term=(4, 9)),
+        _spec("apex3", "vtr", "PLA control", pla.random_pla, 30, 20, 100,
+              seed=23, literals_per_term=(4, 8)),
+        _spec("apex4", "vtr", "dense PLA", pla.random_pla, 26, 20, 140,
+              seed=24, literals_per_term=(4, 8), terms_per_output=(3, 8)),
+        _spec("apex5", "vtr", "sparse PLA", pla.random_pla, 28, 16, 80,
+              seed=25, literals_per_term=(4, 8)),
+        _spec("cordic", "vtr", "CORDIC rotator", arithmetic.cordic,
+              width=8, iterations=4, seed=26),
+        _spec("cps", "vtr", "multilevel control", pla.random_multilevel_pla,
+              32, 16, 70, seed=27, depth=3, literals_per_term=(3, 6)),
+        _spec("dalu", "vtr", "dedicated ALU", arithmetic.alu, width=9, seed=28),
+        _spec("des", "vtr", "S-box round", control.sbox_round, sboxes=5, seed=29),
+        _spec("e64", "vtr", "parity encoder", control.parity_encoder,
+              width=32, seed=30),
+        _spec("ex1010", "vtr", "large dense PLA", pla.random_pla,
+              20, 16, 160, seed=31, literals_per_term=(4, 8),
+              terms_per_output=(4, 10)),
+        _spec("ex5p", "vtr", "PLA", pla.random_pla, 16, 40, 100, seed=32,
+              literals_per_term=(4, 8)),
+        _spec("i10", "vtr", "random logic", random_logic.random_dag,
+              num_inputs=32, num_gates=380, num_outputs=24, seed=33),
+        _spec("k2", "vtr", "PLA", pla.random_pla, 30, 18, 100, seed=34,
+              literals_per_term=(4, 8)),
+        _spec("misex3", "vtr", "PLA", pla.random_pla, 28, 20, 120, seed=35,
+              literals_per_term=(4, 8)),
+        _spec("misex3c", "vtr", "PLA (compact)", pla.random_pla,
+              28, 20, 80, seed=36, literals_per_term=(4, 8)),
+        _spec("pdc", "vtr", "very dense PLA", pla.random_pla,
+              24, 24, 170, seed=37, literals_per_term=(4, 8),
+              terms_per_output=(4, 9)),
+        _spec("seq", "vtr", "sequential next-state", pla.random_multilevel_pla,
+              28, 18, 70, seed=38, depth=3, literals_per_term=(3, 6)),
+        _spec("spla", "vtr", "dense PLA", pla.random_pla,
+              24, 22, 150, seed=39, literals_per_term=(4, 8),
+              terms_per_output=(3, 8)),
+        _spec("table3", "vtr", "table lookup PLA", pla.random_pla,
+              26, 16, 120, seed=40, literals_per_term=(4, 8),
+              terms_per_output=(3, 7)),
+        _spec("table5", "vtr", "table lookup PLA", pla.random_pla,
+              26, 16, 110, seed=41, literals_per_term=(4, 8),
+              terms_per_output=(3, 7)),
+        # ----- EPFL -----
+        _spec("sin", "epfl", "sine approximation", arithmetic.sin_approx,
+              width=10, seed=51),
+        _spec("square", "epfl", "squarer", arithmetic.square, width=10, seed=52),
+        _spec("arbiter", "epfl", "masked priority arbiter", control.arbiter,
+              width=14, seed=53),
+        _spec("dec", "epfl", "6-to-64 decoder", control.decoder, bits=6, seed=54),
+        _spec("m_ctrl", "epfl", "memory controller", control.mem_ctrl,
+              addr_bits=12, banks=8, seed=55),
+        _spec("priority", "epfl", "priority encoder", control.priority_encoder,
+              width=20, seed=56),
+        _spec("voter", "epfl", "majority voter", control.voter,
+              width=19, seed=57),
+        _spec("log2", "epfl", "log2 approximation", arithmetic.log2_approx,
+              width=18, seed=58),
+        # ----- ITC'99 -----
+        _spec("b14_C", "itc99", "viper-like control", random_logic.itc_like,
+              24, 280, 16, 61, datapath_width=5),
+        _spec("b14_C2", "itc99", "viper-like control", random_logic.itc_like,
+              24, 280, 16, 62, datapath_width=5),
+        _spec("b15_C", "itc99", "80386-like control", random_logic.itc_like,
+              28, 380, 18, 63, datapath_width=5),
+        _spec("b15_C2", "itc99", "80386-like control", random_logic.itc_like,
+              28, 380, 18, 64, datapath_width=5),
+        _spec("b17_C", "itc99", "3x b15 complexity", random_logic.itc_like,
+              30, 520, 20, 65, datapath_width=6),
+        _spec("b17_C2", "itc99", "3x b15 complexity", random_logic.itc_like,
+              30, 520, 20, 66, datapath_width=6),
+        _spec("b20_C", "itc99", "2x b14 copy mix", random_logic.itc_like,
+              26, 440, 18, 67, datapath_width=6),
+        _spec("b20_C2", "itc99", "2x b14 copy mix", random_logic.itc_like,
+              26, 440, 18, 68, datapath_width=6),
+        _spec("b21_C", "itc99", "2x b14 copy mix", random_logic.itc_like,
+              26, 440, 18, 69, datapath_width=6),
+        _spec("b21_C2", "itc99", "2x b14 copy mix", random_logic.itc_like,
+              26, 440, 18, 70, datapath_width=6),
+        _spec("b22_C", "itc99", "3x b14 copy mix", random_logic.itc_like,
+              28, 500, 20, 71, datapath_width=6),
+        _spec("b22_C2", "itc99", "3x b14 copy mix", random_logic.itc_like,
+              28, 500, 20, 72, datapath_width=6),
+    ]
+}
+
+#: The two benchmarks Figure 7 traces.
+FIG7_BENCHMARKS = ("apex2", "cps")
+
+
+def benchmark_names() -> list[str]:
+    """All 42 benchmark names in suite order."""
+    return list(BENCHMARKS)
+
+
+def build_benchmark(name: str) -> Network:
+    """Construct the raw (gate-level) benchmark network."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError as exc:
+        raise ReproError(f"unknown benchmark {name!r}") from exc
+    return spec.build()
+
+
+def sweep_instance(
+    name: str,
+    k: int = 6,
+    copies: int = 1,
+    with_cec_copy: bool = False,
+    rewrite_seed: int = 1,
+    rewrite_intensity: float = 0.2,
+) -> Network:
+    """The LUT-mapped sweeping workload for a benchmark (§6.1 flow).
+
+    By default this mirrors the paper exactly: strash the benchmark,
+    optionally stack it ``copies`` times (§6.4's ``&putontop``), and map to
+    K-input LUTs; the sweeping tool then partitions the LUT outputs into
+    equivalence classes.  With ``with_cec_copy=True`` the benchmark is first
+    united with a function-preserving rewritten copy of itself over shared
+    PIs — a full CEC workload with guaranteed cross-copy equivalences (used
+    by the CEC example, not by the table experiments).
+    """
+    base = build_benchmark(name)
+    if with_cec_copy:
+        perturbed = rewrite(
+            base, seed=rewrite_seed, intensity=rewrite_intensity
+        )
+        base, _ = union_network(base, perturbed)
+    if copies > 1:
+        base = put_on_top(base, copies)
+    cleaned = strash(base)
+    mapped, _ = map_to_luts(cleaned, k=k, name=f"{name}_sweep")
+    return mapped

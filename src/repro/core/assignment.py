@@ -1,0 +1,125 @@
+"""Partial node-value assignments (the paper's ``nodeVals``).
+
+Algorithm 1 incrementally assigns 0/1 values to node outputs while
+propagating a target's OUTgold value toward the PIs.  The assignment records
+its trail so a conflicting target can be reverted wholesale (Line 12 of
+Algorithm 1: ``nodeVals = initVals``), and timestamps each assignment so
+``latestUpdated`` can find the most recently touched node of a cone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import GenerationError
+from repro.network.network import Network
+
+
+class Conflict(Exception):
+    """Raised when a propagation contradicts an existing assignment.
+
+    Carries the node and the two clashing values; Algorithm 1 catches it to
+    revert the current target.
+    """
+
+    def __init__(self, uid: int, have: int, want: int):
+        self.uid = uid
+        self.have = have
+        self.want = want
+        super().__init__(f"node {uid}: have {have}, want {want}")
+
+
+class Assignment:
+    """A revertible partial map from node ids to output values."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._values: dict[int, int] = {}
+        self._trail: list[int] = []  # uids in assignment order
+
+    # ------------------------------------------------------------------
+    def value(self, uid: int) -> Optional[int]:
+        """The assigned value of a node, or ``None``."""
+        return self._values.get(uid)
+
+    def is_assigned(self, uid: int) -> bool:
+        return uid in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def assign(self, uid: int, value: int) -> bool:
+        """Set a node's value.
+
+        Returns True if the assignment is new, False if the node already
+        holds that value.  Raises :class:`Conflict` on contradiction.
+        """
+        if value not in (0, 1):
+            raise GenerationError(f"assignment value must be 0/1, got {value!r}")
+        current = self._values.get(uid)
+        if current is not None:
+            if current != value:
+                raise Conflict(uid, current, value)
+            return False
+        self._values[uid] = value
+        self._trail.append(uid)
+        return True
+
+    def pins_of(self, uid: int) -> tuple[list[Optional[int]], Optional[int]]:
+        """(fanin values, output value) of a node under this assignment."""
+        node = self.network.node(uid)
+        inputs = [self._values.get(f) for f in node.fanins]
+        return inputs, self._values.get(uid)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / revert (Algorithm 1 lines 4 and 12)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Opaque marker for the current trail position."""
+        return len(self._trail)
+
+    def revert(self, marker: int) -> None:
+        """Undo every assignment made after ``marker``."""
+        if not 0 <= marker <= len(self._trail):
+            raise GenerationError(f"invalid checkpoint marker {marker}")
+        for uid in self._trail[marker:]:
+            del self._values[uid]
+        del self._trail[marker:]
+
+    # ------------------------------------------------------------------
+    # Queries used by Algorithm 1
+    # ------------------------------------------------------------------
+    def latest_updated(
+        self, cone: Iterable[int], since: int = 0
+    ) -> Optional[int]:
+        """Most recently assigned node among ``cone`` (after ``since``)."""
+        cone_set = set(cone)
+        for index in range(len(self._trail) - 1, since - 1, -1):
+            uid = self._trail[index]
+            if uid in cone_set:
+                return uid
+        return None
+
+    def trail(self) -> list[int]:
+        """Assigned node ids in assignment order (a copy)."""
+        return list(self._trail)
+
+    def pis_set(self, cone: Iterable[int]) -> bool:
+        """Algorithm 1's ``PIsSet``: every PI of the cone is assigned."""
+        for uid in cone:
+            node = self.network.node(uid)
+            if node.is_pi and uid not in self._values:
+                return False
+        return True
+
+    def pi_values(self) -> dict[int, int]:
+        """The assigned primary-input values (the generated vector)."""
+        return {
+            uid: value
+            for uid, value in self._values.items()
+            if self.network.node(uid).is_pi
+        }
+
+    def as_dict(self) -> dict[int, int]:
+        """All assigned values (a copy)."""
+        return dict(self._values)

@@ -1,0 +1,64 @@
+"""Hybrid random + guided generation (paper §6.5, Figure 7).
+
+Random simulation splits classes quickly at first but plateaus; guided
+generators (RevS / SimGen) keep splitting but cost more per vector.  The
+hybrid runs random simulation until the Equation-5 cost is unchanged for
+``patience`` consecutive iterations, then hands over to the guided
+generator — the switching rule used for Figure 7 ("after random simulation
+achieves the same cost in three consecutive iterations").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.generator import BaseVectorGenerator
+from repro.core.random_gen import RandomGenerator
+from repro.simulation.patterns import InputVector
+
+
+def classes_cost(classes: Sequence[Sequence[int]]) -> int:
+    """Equation 5 over raw member lists: sum of (size - 1)."""
+    return sum(len(c) - 1 for c in classes if len(c) >= 1)
+
+
+class HybridGenerator(BaseVectorGenerator):
+    """Random first, guided after the cost stagnates."""
+
+    def __init__(
+        self,
+        network,
+        guided: BaseVectorGenerator,
+        seed: int = 0,
+        patience: int = 3,
+        random_vectors_per_iteration: int = 32,
+    ):
+        super().__init__(network, seed)
+        self.guided = guided
+        self.patience = patience
+        self.random_stage = RandomGenerator(
+            network, seed, random_vectors_per_iteration
+        )
+        self.name = f"hybrid[rand->{guided.name}]"
+        self._last_cost: int | None = None
+        self._stagnant = 0
+        self._switched = False
+
+    @property
+    def switched(self) -> bool:
+        """True once generation has handed over to the guided stage."""
+        return self._switched
+
+    def generate(self, classes: Sequence[Sequence[int]]) -> list[InputVector]:
+        if not self._switched:
+            cost = classes_cost(classes)
+            if self._last_cost is not None and cost == self._last_cost:
+                self._stagnant += 1
+            else:
+                self._stagnant = 0
+            self._last_cost = cost
+            if self._stagnant >= self.patience:
+                self._switched = True
+        if self._switched:
+            return self.guided.generate(classes)
+        return self.random_stage.generate(classes)

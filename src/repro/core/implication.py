@@ -1,0 +1,224 @@
+"""Implication engines (paper §4).
+
+An implication assigns pin values that are *forced* by the values already
+present, so it can never cause a wrong guess — the more we imply, the fewer
+(risky) decisions Algorithm 1 has to make.
+
+Two strengths are implemented, both working forward and backward
+(independent of node levels, per the paper's generalized Definition 2.2):
+
+* **Simple implication**: when exactly one truth-table row matches the
+  node's current pin values, assign all of that row's non-DC pins.
+* **Advanced implication** (Definition 4.1): when several rows match but
+  they all agree on some pin's value, assign that pin; pins on which the
+  rows disagree (or that any row leaves DC) stay open.
+
+Both run to fixpoint through a worklist: whenever a node's output value
+changes, the node itself and all its fanouts are re-examined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.logic.cubes import Row, packed_rows
+from repro.core.assignment import Assignment, Conflict
+from repro.network.network import Network
+
+
+class ImplicationStrategy(Enum):
+    """How much to imply (paper §4)."""
+
+    #: Only single-matching-row implications (classic D-algorithm style).
+    SIMPLE = "simple"
+    #: Additionally assign pins on which all matching rows agree (Def. 4.1).
+    ADVANCED = "advanced"
+
+
+@dataclass(slots=True)
+class ImplicationOutcome:
+    """Result of one implication fixpoint run."""
+
+    #: True if a contradiction was found (caller must revert the target).
+    conflict: bool = False
+    #: Node whose examination detected the conflict (diagnostics).
+    conflict_node: Optional[int] = None
+    #: Number of pin values assigned by implications in this run.
+    assigned: int = 0
+    #: Nodes whose output value changed during the run.
+    changed_nodes: list[int] = field(default_factory=list)
+
+
+def _forced_pins(
+    rows: list[Row],
+    inputs: list[Optional[int]],
+    output: Optional[int],
+    advanced: bool,
+) -> Optional[list[tuple[int, int]]]:
+    """Pin assignments forced by the matching rows.
+
+    Returns a list of ``(pin_index, value)`` where pin index ``i`` in
+    ``[0, n)`` is fanin ``i`` and pin index ``n`` is the output, or ``None``
+    when nothing is forced.  Assumes ``rows`` is non-empty and already
+    filtered to those matching the assignment.
+    """
+    n = len(inputs)
+    if len(rows) == 1:
+        row = rows[0]
+        forced = [
+            (i, lit)
+            for i, lit in enumerate(row.literals())
+            if lit is not None and inputs[i] is None
+        ]
+        if output is None:
+            forced.append((n, row.output))
+        return forced or None
+    if not advanced:
+        return None
+    forced = []
+    # A pin is forced only if EVERY matching row binds it to the same value;
+    # a DC row means both values remain feasible for that pin.
+    for i in range(n):
+        if inputs[i] is not None:
+            continue
+        first = rows[0].literal(i)
+        if first is None:
+            continue
+        if all(row.literal(i) == first for row in rows[1:]):
+            forced.append((i, first))
+    if output is None:
+        first_out = rows[0].output
+        if all(row.output == first_out for row in rows[1:]):
+            forced.append((n, first_out))
+    return forced or None
+
+
+class ImplicationEngine:
+    """Runs implication fixpoints over one network + assignment."""
+
+    def __init__(
+        self,
+        network: Network,
+        strategy: ImplicationStrategy = ImplicationStrategy.ADVANCED,
+    ):
+        self.network = network
+        self.strategy = strategy
+
+    def examine(
+        self, assignment: Assignment, uid: int
+    ) -> Optional[list[tuple[int, int]]]:
+        """Forced assignments at one gate, as ``(node_uid, value)`` pairs.
+
+        Returns ``None`` on contradiction (no truth-table row matches the
+        current pins).  Uses the packed-row fast path: pins are an integer
+        (known_mask, known_values) pair, row matching is two AND operations.
+        """
+        node = self.network.node(uid)
+        if node.is_pi or node.is_const:
+            return []
+        values = assignment._values  # hot path: direct map access
+        fanins = node.fanins
+        known_mask = 0
+        known_values = 0
+        for i, f in enumerate(fanins):
+            v = values.get(f)
+            if v is not None:
+                known_mask |= 1 << i
+                if v:
+                    known_values |= 1 << i
+        output = values.get(uid)
+        if output is None and not known_mask:
+            return []  # nothing known at this node yet
+        matching = [
+            row
+            for row in packed_rows(node.table)
+            if (output is None or row[2] == output)
+            and not (row[1] ^ known_values) & (row[0] & known_mask)
+        ]
+        if not matching:
+            return None
+        result: list[tuple[int, int]] = []
+        if len(matching) == 1:
+            mask, vals, out = matching[0]
+            forced_mask = mask & ~known_mask
+            i = 0
+            while forced_mask:
+                if forced_mask & 1:
+                    result.append((fanins[i], (vals >> i) & 1))
+                forced_mask >>= 1
+                i += 1
+            if output is None:
+                result.append((uid, out))
+            return result
+        if self.strategy is not ImplicationStrategy.ADVANCED:
+            return []
+        # Advanced (Def. 4.1): pins bound to the same value in EVERY
+        # matching row are forced; a DC anywhere leaves the pin open.
+        base_mask, base_vals, base_out = matching[0]
+        forced_mask = base_mask & ~known_mask
+        out_agree = output is None
+        for mask, vals, out in matching[1:]:
+            forced_mask &= mask & ~(vals ^ base_vals)
+            if out != base_out:
+                out_agree = False
+            if not forced_mask and not out_agree:
+                return []
+        i = 0
+        fm = forced_mask
+        while fm:
+            if fm & 1:
+                result.append((fanins[i], (base_vals >> i) & 1))
+            fm >>= 1
+            i += 1
+        if out_agree:
+            result.append((uid, base_out))
+        return result
+
+    def propagate(
+        self, assignment: Assignment, seeds: Iterable[int]
+    ) -> ImplicationOutcome:
+        """Run implications to fixpoint starting from the seed nodes.
+
+        Seeds should be the nodes whose values were just changed (plus, on
+        the first call for a target, the target itself).  Every node whose
+        pins may have changed is re-examined until no new value is forced.
+        """
+        outcome = ImplicationOutcome()
+        queue: list[int] = []
+        queued: set[int] = set()
+
+        def enqueue_examiners(changed_uid: int) -> None:
+            # The node itself (its own row constraints) and everyone reading it.
+            for cand in (changed_uid, *self.network.fanouts(changed_uid)):
+                if cand not in queued:
+                    queued.add(cand)
+                    queue.append(cand)
+
+        for seed in seeds:
+            enqueue_examiners(seed)
+
+        while queue:
+            uid = queue.pop(0)
+            queued.discard(uid)
+            forced = self.examine(assignment, uid)
+            if forced is None:
+                outcome.conflict = True
+                outcome.conflict_node = uid
+                return outcome
+            for target, value in forced:
+                try:
+                    fresh = assignment.assign(target, value)
+                except Conflict:
+                    # Cannot happen for pins of `uid` (rows matched the
+                    # assignment), but a forced value may clash at a node
+                    # shared with another pending implication path.
+                    outcome.conflict = True
+                    outcome.conflict_node = target
+                    return outcome
+                if fresh:
+                    outcome.assigned += 1
+                    outcome.changed_nodes.append(target)
+                    enqueue_examiners(target)
+        return outcome

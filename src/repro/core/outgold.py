@@ -1,0 +1,78 @@
+"""OUTgold value generation (paper §3, step 1).
+
+OUTgold values are the *desired* output values for the target nodes of an
+equivalence class.  A vector that realizes opposite OUTgold values at two
+members of one class splits that class.  The paper's default — implemented
+in :func:`alternating_outgold` — assigns alternating 0/1 by node id so each
+class gets an equal number of zeros and ones; the module also provides the
+level-aware variant the paper mentions as an easily-pluggable alternative.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.network.network import Network
+
+#: An OUTgold strategy maps (network, class member ids) to {uid: 0/1}.
+OutgoldStrategy = Callable[[Network, Sequence[int]], dict[int, int]]
+
+
+def alternating_outgold(
+    network: Network, members: Sequence[int]
+) -> dict[int, int]:
+    """Alternate 0/1 over the class members ordered by node id.
+
+    This is the paper's default: "we assign alternating values of zeros and
+    ones as OUTgold values according to the node IDs to split them into
+    different classes".
+    """
+    return {uid: i % 2 for i, uid in enumerate(sorted(members))}
+
+
+def level_alternating_outgold(
+    network: Network, members: Sequence[int]
+) -> dict[int, int]:
+    """Topology-aware variant: alternate along increasing level.
+
+    Nodes at similar depth tend to share structure; interleaving values
+    along the level order asks structurally close nodes to disagree, which
+    is a plausible "circuit topology-aware method" per the paper's §3.
+    """
+    ordered = sorted(members, key=lambda uid: (network.level(uid), uid))
+    return {uid: i % 2 for i, uid in enumerate(ordered)}
+
+
+def random_outgold(
+    seed: int = 0,
+) -> OutgoldStrategy:
+    """A randomized strategy factory (balanced but shuffled)."""
+    rng = random.Random(seed)
+
+    def strategy(network: Network, members: Sequence[int]) -> dict[int, int]:
+        ordered = sorted(members)
+        values = [i % 2 for i in range(len(ordered))]
+        rng.shuffle(values)
+        return dict(zip(ordered, values))
+
+    return strategy
+
+
+def select_targets(
+    members: Iterable[int],
+    max_targets: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> list[int]:
+    """Choose which class members become targets for one vector.
+
+    Keeps at most ``max_targets`` members (random subset when truncating,
+    so repeated iterations cover different pairs of a large class).
+    """
+    pool = sorted(members)
+    if max_targets is None or len(pool) <= max_targets:
+        return pool
+    if max_targets < 2:
+        max_targets = 2
+    chooser = rng or random.Random(0)
+    return sorted(chooser.sample(pool, max_targets))

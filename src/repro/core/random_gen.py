@@ -1,0 +1,67 @@
+"""Fully random simulation-vector generation (paper's RandS).
+
+Random simulation is fast and splits many classes early, but it is blind to
+which classes remain and soon plateaus (paper §6.5).  One iteration emits a
+configurable number of unconstrained vectors; the pattern batch randomizes
+every PI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.generator import BaseVectorGenerator
+from repro.simulation.patterns import InputVector
+
+
+class RandomGenerator(BaseVectorGenerator):
+    """Emits ``vectors_per_iteration`` fully random vectors per iteration."""
+
+    name = "random"
+
+    def __init__(
+        self, network, seed: int = 0, vectors_per_iteration: int = 32
+    ):
+        super().__init__(network, seed)
+        self.vectors_per_iteration = vectors_per_iteration
+
+    def generate(self, classes: Sequence[Sequence[int]]) -> list[InputVector]:
+        # Unconstrained vectors: the PatternBatch fills every PI randomly.
+        return [InputVector() for _ in range(self.vectors_per_iteration)]
+
+
+class OneDistanceGenerator(BaseVectorGenerator):
+    """1-distance vectors around a seed vector (Mishchenko et al. 2006).
+
+    Implemented as a related-work extension: each iteration perturbs the
+    stored seed vector by flipping one PI per emitted vector, cycling over
+    the PIs.  Counterexample vectors from the SAT phase make good seeds.
+    """
+
+    name = "one-distance"
+
+    def __init__(
+        self, network, seed: int = 0, vectors_per_iteration: int = 8
+    ):
+        super().__init__(network, seed)
+        self.vectors_per_iteration = vectors_per_iteration
+        self._seed_vector: InputVector | None = None
+        self._next_pi = 0
+
+    def set_seed_vector(self, vector: InputVector) -> None:
+        """Install the vector around which neighbours are generated."""
+        self._seed_vector = vector
+
+    def generate(self, classes: Sequence[Sequence[int]]) -> list[InputVector]:
+        pis = self.network.pis
+        if self._seed_vector is None or not pis:
+            return [InputVector() for _ in range(self.vectors_per_iteration)]
+        base = self._seed_vector.completed(pis, self.rng)
+        vectors = []
+        for _ in range(self.vectors_per_iteration):
+            pi = pis[self._next_pi % len(pis)]
+            self._next_pi += 1
+            flipped = dict(base.values)
+            flipped[pi] = 1 - flipped[pi]
+            vectors.append(InputVector(flipped))
+        return vectors

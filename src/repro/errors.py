@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro (SimGen) library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+downstream user can catch one type to guard a whole flow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LogicError(ReproError):
+    """Invalid truth-table / cube operation (bad arity, bad literal, ...)."""
+
+
+class NetworkError(ReproError):
+    """Structural problem in a Boolean network (cycle, dangling fanin, ...)."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (BLIF / BENCH)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulation request (width mismatch, unknown node, ...)."""
+
+
+class SatError(ReproError):
+    """Malformed CNF or solver misuse."""
+
+
+class SweepError(ReproError):
+    """Inconsistent sweeping state."""
+
+
+class MappingError(ReproError):
+    """LUT mapping failure (infeasible cut size, unmapped node, ...)."""
+
+
+class GenerationError(ReproError):
+    """Pattern-generation failure that indicates misuse (not a mere conflict)."""

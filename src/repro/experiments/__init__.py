@@ -1,0 +1,30 @@
+"""Evaluation harness: one module per table/figure of the paper (§6)."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    QUICK_BENCHMARKS,
+    SCALED_BENCHMARKS,
+)
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.runner import BenchmarkRun, ExperimentRunner
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "Fig5Result",
+    "Fig7Result",
+    "QUICK_BENCHMARKS",
+    "SCALED_BENCHMARKS",
+    "Table1Result",
+    "Table2Result",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments table1 [--quick]
+    python -m repro.experiments table2 [--quick]
+    python -m repro.experiments table2-scaled
+    python -m repro.experiments fig5 [--quick]
+    python -m repro.experiments fig6
+    python -m repro.experiments fig7
+    python -m repro.experiments all [--quick]
+
+``--quick`` restricts tables to a 10-benchmark subset; the full 42-benchmark
+matrix takes substantially longer (pure-Python simulation and SAT).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.benchmarks:
+        return ExperimentConfig(benchmarks=tuple(args.benchmarks))
+    if args.quick:
+        return ExperimentConfig.quick()
+    return ExperimentConfig()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simgen-experiments",
+        description="Regenerate the SimGen paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table2-scaled", "fig5", "fig6", "fig7", "all"],
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="10-benchmark subset"
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", help="explicit benchmark names"
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true", help="per-benchmark progress"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="generator seeds averaged in Table 1 (default 1)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="also dump results as JSON"
+    )
+    args = parser.parse_args(argv)
+    config = _config(args)
+    config.num_seeds = max(1, args.seeds)
+    runner = ExperimentRunner(config)
+
+    chosen = args.experiment
+    start = time.perf_counter()
+    outputs: list[str] = []
+    results: list[object] = []
+    def record(result) -> None:
+        results.append(result)
+        outputs.append(result.render())
+
+    if chosen in ("table1", "all"):
+        record(run_table1(config, runner, verbose=args.verbose))
+    if chosen in ("table2", "all"):
+        record(run_table2(config, runner, verbose=args.verbose))
+    if chosen in ("table2-scaled", "all"):
+        record(run_table2(config, runner, scaled=True, verbose=args.verbose))
+    if chosen in ("fig5", "all"):
+        record(run_fig5(config, runner, verbose=args.verbose))
+    if chosen in ("fig6", "all"):
+        record(run_fig6(config, runner, verbose=args.verbose))
+    if chosen in ("fig7", "all"):
+        record(run_fig7(config, runner, verbose=args.verbose))
+    elapsed = time.perf_counter() - start
+    if args.json:
+        from repro.experiments.serialize import dump_results
+
+        dump_results(results, args.json)
+    print("\n\n".join(outputs))
+    print(f"\n[{chosen} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Figure 5: per-benchmark normalized differences, SimGen vs RevS (§6.3).
+
+For every benchmark the paper plots four bars — the normalized difference
+of cost, simulation runtime, SAT calls, and SAT runtime of SimGen relative
+to reverse simulation (negative = SimGen better).  The harness renders the
+same series as signed ASCII bars and reports the Pareto classification the
+paper's discussion walks through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.strategies import SIMGEN
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import normalized_difference
+from repro.experiments.report import format_series_chart
+from repro.experiments.runner import BenchmarkRun, ExperimentRunner
+
+METRICS = ("cost", "sim_runtime", "sat_calls", "sat_runtime")
+
+
+@dataclass(slots=True)
+class Fig5Point:
+    """Normalized differences (SimGen vs RevS) for one benchmark."""
+
+    benchmark: str
+    copies: int
+    cost: float
+    sim_runtime: float
+    sat_calls: float
+    sat_runtime: float
+    revs: BenchmarkRun = None  # type: ignore[assignment]
+    sgen: BenchmarkRun = None  # type: ignore[assignment]
+
+    def pareto_class(self) -> str:
+        """"dominates" / "trade-off" / "dominated" (paper §6.3 wording)."""
+        gains = [self.cost, self.sat_calls, self.sat_runtime, self.sim_runtime]
+        if all(g <= 0 for g in gains):
+            return "dominates"
+        if self.cost <= 0 or self.sat_calls <= 0 or self.sat_runtime <= 0:
+            return "trade-off"
+        return "dominated"
+
+
+@dataclass(slots=True)
+class Fig5Result:
+    """All per-benchmark points of Figure 5 (or Figure 6 when scaled)."""
+
+    points: list[Fig5Point] = field(default_factory=list)
+    title: str = "Figure 5"
+
+    def render(self) -> str:
+        labels = []
+        series = {m: [] for m in METRICS}
+        for point in self.points:
+            label = point.benchmark
+            if point.copies > 1:
+                label = f"{label} ({point.copies})"
+            labels.append(label)
+            series["cost"].append(point.cost)
+            series["sim_runtime"].append(point.sim_runtime)
+            series["sat_calls"].append(point.sat_calls)
+            series["sat_runtime"].append(point.sat_runtime)
+        text = format_series_chart(
+            f"{self.title}: normalized difference of SimGen vs RevS "
+            "(negative = SimGen better)",
+            labels,
+            series,
+            scale=1.0,
+        )
+        counts = {"dominates": 0, "trade-off": 0, "dominated": 0}
+        for point in self.points:
+            counts[point.pareto_class()] += 1
+        # Aggregate (sum-based) differences: per-benchmark ratios explode
+        # when the RevS baseline is near zero (e.g. sub-ms SAT phases).
+        aggregates = {}
+        for metric, revs_attr, sgen_attr in (
+            ("cost", "cost_final", "cost_final"),
+            ("sim runtime", "sim_time", "sim_time"),
+            ("SAT calls", "sat_calls", "sat_calls"),
+            ("SAT runtime", "sat_time", "sat_time"),
+        ):
+            base = sum(getattr(p.revs, revs_attr) for p in self.points)
+            ours = sum(getattr(p.sgen, sgen_attr) for p in self.points)
+            aggregates[metric] = normalized_difference(ours, base)
+        text += "\nAggregate differences: " + ", ".join(
+            f"{metric} {value:+.1%}" for metric, value in aggregates.items()
+        )
+        text += (
+            f"\nPareto: dominates {counts['dominates']}, "
+            f"trade-off {counts['trade-off']}, "
+            f"dominated {counts['dominated']}"
+        )
+        return text
+
+
+def run_fig5(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+    workload: Optional[Sequence[tuple[str, int]]] = None,
+    title: str = "Figure 5",
+    verbose: bool = False,
+) -> Fig5Result:
+    """Execute the Figure-5 comparison (pass a scaled workload for Fig 6)."""
+    config = config or ExperimentConfig()
+    runner = runner or ExperimentRunner(config)
+    if workload is None:
+        workload = [(name, 1) for name in config.benchmarks]
+    result = Fig5Result(title=title)
+    for benchmark, copies in workload:
+        revs = runner.run(benchmark, "RevS", with_sat=True, copies=copies)
+        sgen = runner.run(benchmark, SIMGEN, with_sat=True, copies=copies)
+        point = Fig5Point(
+            benchmark=benchmark,
+            copies=copies,
+            cost=normalized_difference(sgen.cost_final, revs.cost_final),
+            sim_runtime=normalized_difference(sgen.sim_time, revs.sim_time),
+            sat_calls=normalized_difference(sgen.sat_calls, revs.sat_calls),
+            sat_runtime=normalized_difference(sgen.sat_time, revs.sat_time),
+            revs=revs,
+            sgen=sgen,
+        )
+        result.points.append(point)
+        if verbose:
+            print(
+                f"  {benchmark:10s} cost {point.cost:+.1%} "
+                f"satcalls {point.sat_calls:+.1%} [{point.pareto_class()}]"
+            )
+    return result

@@ -1,0 +1,28 @@
+"""Figure 6: the Figure-5 metrics on ``&putontop``-scaled benchmarks (§6.4).
+
+Identical analysis to Figure 5, run on the stacked instances of the scaled
+study, demonstrating that SimGen's advantages persist as SAT times grow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig, SCALED_BENCHMARKS
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.runner import ExperimentRunner
+
+
+def run_fig6(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+    verbose: bool = False,
+) -> Fig5Result:
+    """Execute Figure 6 over the scaled workload."""
+    return run_fig5(
+        config=config,
+        runner=runner,
+        workload=list(SCALED_BENCHMARKS),
+        title="Figure 6",
+        verbose=verbose,
+    )

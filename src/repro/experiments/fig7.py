@@ -1,0 +1,143 @@
+"""Figure 7: random simulation vs hybrid RandS→RevS / RandS→SimGen (§6.5).
+
+For *apex2* and *cps* the paper traces Equation-5 cost and cumulative
+runtime across simulation iterations for three runs:
+
+1. pure random simulation,
+2. random until the cost stagnates three consecutive iterations, then
+   reverse simulation,
+3. the same hand-over to SimGen.
+
+Random escapes quickly but plateaus; the guided stages keep splitting at a
+runtime premium — the argument for embedding SimGen in sweeping tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.benchgen.suite import FIG7_BENCHMARKS
+from repro.core.hybrid import HybridGenerator
+from repro.core.strategies import SIMGEN, make_generator
+from repro.core.random_gen import RandomGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_iteration_trace
+from repro.experiments.runner import ExperimentRunner
+from repro.sweep.engine import SweepEngine
+
+
+@dataclass(slots=True)
+class Fig7Trace:
+    """One line of the figure: per-iteration cost and cumulative time."""
+
+    label: str
+    costs: list[int] = field(default_factory=list)
+    cumulative_time: list[float] = field(default_factory=list)
+    switch_iteration: Optional[int] = None
+
+
+@dataclass(slots=True)
+class Fig7Result:
+    """Traces for every (benchmark, run-kind) combination."""
+
+    traces: dict[str, list[Fig7Trace]] = field(default_factory=dict)
+    iterations: int = 0
+
+    def render(self) -> str:
+        blocks = []
+        for benchmark, runs in self.traces.items():
+            cost_lines = {t.label: t.costs for t in runs}
+            blocks.append(
+                format_iteration_trace(
+                    f"Figure 7 ({benchmark}): cost per iteration",
+                    cost_lines,
+                )
+            )
+            time_lines = {}
+            for t in runs:
+                time_lines[t.label] = " ".join(
+                    f"{v:6.2f}" for v in t.cumulative_time
+                )
+            blocks.append(f"  cumulative runtime (s):")
+            for label, rendered in time_lines.items():
+                blocks.append(f"  {label:24s} {rendered}")
+            for t in runs:
+                if t.switch_iteration is not None:
+                    blocks.append(
+                        f"  {t.label} switched to guided mode at iteration "
+                        f"{t.switch_iteration}"
+                    )
+        return "\n".join(blocks)
+
+
+def _trace(engine: SweepEngine, label: str) -> Fig7Trace:
+    classes, metrics = engine.run_simulation_phase()
+    cumulative = []
+    total = 0.0
+    for t in metrics.iteration_times:
+        total += t
+        cumulative.append(total)
+    return Fig7Trace(
+        label=label,
+        costs=list(metrics.cost_history),
+        cumulative_time=cumulative,
+    )
+
+
+def run_fig7(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: tuple[str, ...] = FIG7_BENCHMARKS,
+    iterations: int = 30,
+    patience: int = 3,
+    verbose: bool = False,
+) -> Fig7Result:
+    """Execute the Figure-7 iteration study."""
+    config = config or ExperimentConfig()
+    runner = runner or ExperimentRunner(config)
+    result = Fig7Result(iterations=iterations)
+    sweep_cfg = runner.sweep_config()
+    sweep_cfg.iterations = iterations
+    for benchmark in benchmarks:
+        network = runner.instance(benchmark)
+        runs = []
+        # 1. Pure random simulation.
+        rand = RandomGenerator(network, config.seed)
+        runs.append(
+            _trace(SweepEngine(network, rand, sweep_cfg), "RandS")
+        )
+        # 2./3. Random, then hand over to the guided generator.
+        for label, guided_name in (("RandS->RevS", "RevS"), ("RandS->SimGen", SIMGEN)):
+            guided = make_generator(
+                guided_name,
+                network,
+                seed=config.seed,
+                vectors_per_iteration=config.vectors_per_iteration,
+                max_targets=config.max_targets,
+            )
+            hybrid = HybridGenerator(
+                network, guided, seed=config.seed, patience=patience
+            )
+            trace = _trace(SweepEngine(network, hybrid, sweep_cfg), label)
+            if hybrid.switched:
+                # Recover the switch point from the cost plateau length.
+                trace.switch_iteration = _find_switch(trace.costs, patience)
+            runs.append(trace)
+            if verbose:
+                print(f"  {benchmark} {label}: final cost {trace.costs[-1]}")
+        result.traces[benchmark] = runs
+    return result
+
+
+def _find_switch(costs: list[int], patience: int) -> Optional[int]:
+    """First iteration index after a ``patience``-long cost plateau."""
+    stagnant = 0
+    for i in range(1, len(costs)):
+        if costs[i] == costs[i - 1]:
+            stagnant += 1
+        else:
+            stagnant = 0
+        if stagnant >= patience:
+            return i
+    return None

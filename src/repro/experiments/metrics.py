@@ -1,0 +1,45 @@
+"""Aggregation helpers for the evaluation tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def safe_ratio(value: float, baseline: float) -> float:
+    """``value / baseline`` guarded for a zero baseline.
+
+    When both are zero the ratio is 1.0 (equal); a zero baseline with a
+    nonzero value falls back to ``(value + 1) / (baseline + 1)`` so the
+    comparison degrades smoothly instead of exploding.
+    """
+    if baseline == 0:
+        if value == 0:
+            return 1.0
+        return (value + 1.0) / 1.0
+    return value / baseline
+
+
+def normalized_difference(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline`` with the same zero guards.
+
+    This is what Figures 5 and 6 plot: negative bars mean the strategy
+    improved on the baseline.
+    """
+    return safe_ratio(value, baseline) - 1.0

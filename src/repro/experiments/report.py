@@ -1,0 +1,86 @@
+"""Plain-text rendering of tables and bar charts.
+
+The harness prints the same rows/series the paper reports; figures are
+rendered as signed ASCII bar charts (one row per benchmark and metric), so
+the whole evaluation is reproducible in a terminal with no plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with per-column widths."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float = 1.0, width: int = 24) -> str:
+    """A signed horizontal bar: ``#`` left of centre = improvement.
+
+    ``value`` is a normalized difference (e.g. -0.3 = 30% better than the
+    baseline); ``scale`` is the value mapped to a full half-width.
+    """
+    half = width // 2
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    magnitude = min(abs(value) / scale, 1.0)
+    bar_len = round(magnitude * half)
+    if value < 0:
+        left = " " * (half - bar_len) + "#" * bar_len
+        right = " " * half
+    else:
+        left = " " * half
+        right = "#" * bar_len + " " * (half - bar_len)
+    return f"[{left}|{right}]"
+
+
+def format_series_chart(
+    title: str,
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    scale: float = 1.0,
+) -> str:
+    """Grouped signed bars: one block per label, one bar per series."""
+    lines = [title]
+    name_width = max((len(n) for n in series), default=0)
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[i]
+            lines.append(
+                f"  {name.ljust(name_width)} {format_bar(value, scale)} "
+                f"{value:+7.1%}"
+            )
+    return "\n".join(lines)
+
+
+def format_iteration_trace(
+    title: str,
+    traces: dict[str, Sequence[int]],
+) -> str:
+    """Cost-vs-iteration line blocks for Figure 7."""
+    lines = [title]
+    for name, costs in traces.items():
+        rendered = " ".join(f"{c:4d}" for c in costs)
+        lines.append(f"  {name:24s} {rendered}")
+    return "\n".join(lines)

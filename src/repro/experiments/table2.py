@@ -1,0 +1,122 @@
+"""Table 2: SAT calls and SAT time, RevS vs SimGen (§6.3 and §6.4).
+
+The upper table runs the full flow (random round, 20 guided iterations,
+then SAT sweeping to completion) per benchmark for RevS and SimGen
+(AI+DC+MFFC), reporting the SAT-phase query count and wall-clock time.
+The lower table repeats this on ``&putontop``-stacked instances (§6.4);
+the copy counts live in :data:`repro.experiments.config.SCALED_BENCHMARKS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.strategies import SIMGEN
+from repro.experiments.config import (
+    ExperimentConfig,
+    SCALED_BENCHMARKS,
+)
+from repro.experiments.metrics import mean, safe_ratio
+from repro.experiments.report import format_table
+from repro.experiments.runner import BenchmarkRun, ExperimentRunner
+
+
+@dataclass(slots=True)
+class Table2Row:
+    """One benchmark's RevS-vs-SimGen SAT comparison."""
+
+    benchmark: str
+    copies: int
+    revs: BenchmarkRun
+    sgen: BenchmarkRun
+
+    @property
+    def call_ratio(self) -> float:
+        return safe_ratio(self.sgen.sat_calls, self.revs.sat_calls)
+
+    @property
+    def time_ratio(self) -> float:
+        return safe_ratio(self.sgen.sat_time, self.revs.sat_time)
+
+
+@dataclass(slots=True)
+class Table2Result:
+    """All rows of one Table-2 variant (plain or scaled)."""
+
+    rows: list[Table2Row] = field(default_factory=list)
+    scaled: bool = False
+
+    def render(self) -> str:
+        headers = [
+            "Bmk",
+            "SAT calls RevS",
+            "SAT calls SGen",
+            "SAT time RevS (s)",
+            "SAT time SGen (s)",
+        ]
+        table_rows = []
+        for row in self.rows:
+            label = row.benchmark
+            if row.copies > 1:
+                label = f"{label} ({row.copies})"
+            table_rows.append(
+                [
+                    label,
+                    row.revs.sat_calls,
+                    row.sgen.sat_calls,
+                    f"{row.revs.sat_time:.3f}",
+                    f"{row.sgen.sat_time:.3f}",
+                ]
+            )
+        title = "Table 2"
+        title += " (scaled &putontop instances)" if self.scaled else ""
+        text = format_table(headers, table_rows, title=title)
+        # Aggregate (sum-based) ratios: per-benchmark time ratios are
+        # meaningless when the baseline finishes in microseconds.
+        total_calls = safe_ratio(
+            sum(r.sgen.sat_calls for r in self.rows),
+            sum(r.revs.sat_calls for r in self.rows),
+        )
+        total_time = safe_ratio(
+            sum(r.sgen.sat_time for r in self.rows),
+            sum(r.revs.sat_time for r in self.rows),
+        )
+        wins = sum(1 for r in self.rows if r.sgen.sat_calls < r.revs.sat_calls)
+        ties = sum(1 for r in self.rows if r.sgen.sat_calls == r.revs.sat_calls)
+        text += (
+            f"\nAggregate SGen/RevS: SAT calls {total_calls:.3f}, "
+            f"SAT time {total_time:.3f}"
+            f"  (SGen fewer calls on {wins}/{len(self.rows)}, ties {ties})"
+        )
+        return text
+
+
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+    scaled: bool = False,
+    scaled_benchmarks: Optional[Sequence[tuple[str, int]]] = None,
+    verbose: bool = False,
+) -> Table2Result:
+    """Execute Table 2 (upper) or the §6.4 scaled variant (lower)."""
+    config = config or ExperimentConfig()
+    runner = runner or ExperimentRunner(config)
+    if scaled:
+        workload = list(scaled_benchmarks or SCALED_BENCHMARKS)
+    else:
+        workload = [(name, 1) for name in config.benchmarks]
+    result = Table2Result(scaled=scaled)
+    for benchmark, copies in workload:
+        revs = runner.run(benchmark, "RevS", with_sat=True, copies=copies)
+        sgen = runner.run(benchmark, SIMGEN, with_sat=True, copies=copies)
+        result.rows.append(
+            Table2Row(benchmark=benchmark, copies=copies, revs=revs, sgen=sgen)
+        )
+        if verbose:
+            print(
+                f"  {benchmark:10s} x{copies} "
+                f"calls {revs.sat_calls:4d}->{sgen.sat_calls:4d} "
+                f"time {revs.sat_time:6.2f}->{sgen.sat_time:6.2f}s"
+            )
+    return result

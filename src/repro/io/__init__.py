@@ -1,0 +1,15 @@
+"""Netlist I/O: BLIF and ISCAS .bench."""
+
+from repro.io.bench import bench_text, parse_bench, read_bench, write_bench
+from repro.io.blif import blif_text, parse_blif, read_blif, write_blif
+
+__all__ = [
+    "bench_text",
+    "blif_text",
+    "parse_bench",
+    "parse_blif",
+    "read_bench",
+    "read_blif",
+    "write_bench",
+    "write_blif",
+]

@@ -1,0 +1,136 @@
+"""ISCAS .bench reader/writer.
+
+The .bench format of the ISCAS'85/'89 suites (also emitted by ABC's
+``write_bench``): ``INPUT(x)``, ``OUTPUT(y)``, and gate lines like
+``y = NAND(a, b)``.  Supported gates: AND, OR, NAND, NOR, XOR, XNOR, NOT,
+BUF/BUFF, plus the LUT form ``y = LUT 0x8 (a, b)`` that ABC writes for
+mapped networks.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.logic import gates
+from repro.logic.truthtable import TruthTable
+from repro.network.network import Network
+
+_GATE_RE = re.compile(
+    r"^(?P<out>[^=\s]+)\s*=\s*(?P<kind>[A-Za-z]+)\s*"
+    r"(?:(?P<hex>0x[0-9a-fA-F]+)\s*)?\((?P<args>[^)]*)\)$"
+)
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\((?P<name>[^)]+)\)$")
+
+_KINDS = {
+    "AND": "and",
+    "OR": "or",
+    "NAND": "nand",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+    "NOT": "inv",
+    "INV": "inv",
+    "BUF": "buf",
+    "BUFF": "buf",
+}
+
+
+def parse_bench(text: str) -> Network:
+    """Parse .bench text into a network."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    defs: dict[str, tuple[int, str, str | None, list[str]]] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            name = io_match.group("name").strip()
+            if line.startswith("INPUT"):
+                inputs.append(name)
+            else:
+                outputs.append(name)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if not gate_match:
+            raise ParseError(f"unparsable line {line!r}", number)
+        out = gate_match.group("out")
+        kind = gate_match.group("kind").upper()
+        args = [
+            a.strip() for a in gate_match.group("args").split(",") if a.strip()
+        ]
+        defs[out] = (number, kind, gate_match.group("hex"), args)
+
+    network = Network("bench")
+    node_of: dict[str, int] = {}
+    for name in inputs:
+        node_of[name] = network.add_pi(name)
+
+    resolving: set[str] = set()
+
+    def resolve(name: str) -> int:
+        if name in node_of:
+            return node_of[name]
+        if name not in defs:
+            raise ParseError(f"undefined signal {name!r}")
+        if name in resolving:
+            raise ParseError(f"combinational cycle through {name!r}")
+        resolving.add(name)
+        number, kind, hex_tt, args = defs[name]
+        fanins = [resolve(a) for a in args]
+        if kind == "LUT":
+            if hex_tt is None:
+                raise ParseError("LUT gate without a truth table", number)
+            table = TruthTable.from_hex(len(fanins), hex_tt[2:])
+        elif kind in ("VDD", "GND", "CONST0", "CONST1"):
+            value = kind in ("VDD", "CONST1")
+            table = TruthTable.const(0, value)
+        elif kind in _KINDS:
+            table = gates.gate(_KINDS[kind], max(1, len(fanins)))
+        else:
+            raise ParseError(f"unknown gate kind {kind!r}", number)
+        node_of[name] = network.add_gate(table, fanins, name)
+        resolving.discard(name)
+        return node_of[name]
+
+    for name in outputs:
+        network.add_po(resolve(name), name)
+    return network
+
+
+def read_bench(path) -> Network:
+    """Read a .bench file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_bench(handle.read())
+
+
+def write_bench(network: Network, handle: TextIO) -> None:
+    """Write a network in .bench LUT form."""
+    def ref(uid: int) -> str:
+        node = network.node(uid)
+        return node.label() if node.is_pi else f"n{uid}"
+
+    for pi in network.pis:
+        handle.write(f"INPUT({network.node(pi).label()})\n")
+    for po_name, _ in network.pos:
+        handle.write(f"OUTPUT({po_name})\n")
+    for node in network.gates():
+        args = ", ".join(ref(f) for f in node.fanins)
+        handle.write(
+            f"n{node.uid} = LUT 0x{node.table.to_hex()} ({args})\n"
+        )
+    for po_name, uid in network.pos:
+        if ref(uid) != po_name:
+            handle.write(f"{po_name} = BUF({ref(uid)})\n")
+
+
+def bench_text(network: Network) -> str:
+    """The .bench serialization as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_bench(network, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,17 @@
+"""Logic-function layer: truth tables, cubes/rows, ISOP, and gate library."""
+
+from repro.logic.cubes import Cube, Row, isop, iter_minterms, matching_rows, rows_of
+from repro.logic.gates import gate
+from repro.logic.truthtable import MAX_VARS, TruthTable
+
+__all__ = [
+    "Cube",
+    "MAX_VARS",
+    "Row",
+    "TruthTable",
+    "gate",
+    "isop",
+    "iter_minterms",
+    "matching_rows",
+    "rows_of",
+]

@@ -1,0 +1,263 @@
+"""Cubes, truth-table *rows*, and irredundant SOP (ISOP) extraction.
+
+SimGen's implication and decision steps (paper §4–§5) operate on the *rows*
+of a node's truth table: compact input patterns that may contain don't-cares
+(DCs), together with the output value they produce.  Figure 3 of the paper
+shows such a table.  We obtain the rows by computing an irredundant
+sum-of-products cover of the onset (rows with output 1) and of the offset
+(rows with output 0) using the Minato–Morreale ISOP construction; together
+those covers partition-cover every minterm, which is exactly the property
+the advanced-implication soundness argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import LogicError
+from repro.logic.truthtable import TruthTable
+
+
+@dataclass(frozen=True, slots=True)
+class Cube:
+    """A product term over ``num_vars`` inputs.
+
+    Attributes:
+        num_vars: Arity of the underlying function.
+        mask: Bit ``i`` set iff input ``i`` is bound (not a don't-care).
+        values: Bound inputs' values; must satisfy ``values & ~mask == 0``.
+    """
+
+    num_vars: int
+    mask: int
+    values: int
+
+    def __post_init__(self) -> None:
+        limit = (1 << self.num_vars) - 1
+        if not 0 <= self.mask <= limit:
+            raise LogicError(f"cube mask 0x{self.mask:x} out of range")
+        if self.values & ~self.mask:
+            raise LogicError("cube values set outside mask")
+
+    @classmethod
+    def full_dc(cls, num_vars: int) -> "Cube":
+        """The universal cube (every input a don't-care)."""
+        return cls(num_vars, 0, 0)
+
+    @classmethod
+    def from_literals(cls, literals: Sequence[Optional[int]]) -> "Cube":
+        """Build from a per-input list of 0, 1, or ``None`` (don't-care)."""
+        mask = 0
+        values = 0
+        for i, lit in enumerate(literals):
+            if lit is None:
+                continue
+            if lit not in (0, 1):
+                raise LogicError(f"literal {lit!r} at input {i} is not 0/1/None")
+            mask |= 1 << i
+            if lit:
+                values |= 1 << i
+        return cls(len(literals), mask, values)
+
+    # ------------------------------------------------------------------
+    def literal(self, index: int) -> Optional[int]:
+        """The literal at input ``index``: 0, 1, or ``None`` for DC."""
+        if not 0 <= index < self.num_vars:
+            raise LogicError(f"input index {index} out of range")
+        if not (self.mask >> index) & 1:
+            return None
+        return (self.values >> index) & 1
+
+    def literals(self) -> list[Optional[int]]:
+        """Per-input literal list (0, 1, or None)."""
+        return [self.literal(i) for i in range(self.num_vars)]
+
+    def num_bound(self) -> int:
+        """Number of bound (non-DC) inputs."""
+        return self.mask.bit_count()
+
+    def num_dc(self) -> int:
+        """Number of don't-care inputs (Equation 1's ``dc_size`` numerator)."""
+        return self.num_vars - self.num_bound()
+
+    def contains(self, minterm: int) -> bool:
+        """True if the input pattern ``minterm`` lies inside this cube."""
+        return (minterm & self.mask) == self.values
+
+    def with_literal(self, index: int, value: int) -> "Cube":
+        """A copy with input ``index`` additionally bound to ``value``."""
+        if value not in (0, 1):
+            raise LogicError(f"literal value must be 0/1, got {value!r}")
+        bit = 1 << index
+        new_values = (self.values & ~bit) | (bit if value else 0)
+        return Cube(self.num_vars, self.mask | bit, new_values)
+
+    def to_truthtable(self) -> TruthTable:
+        """The characteristic function of the cube."""
+        bits = 0
+        for m in range(1 << self.num_vars):
+            if self.contains(m):
+                bits |= 1 << m
+        return TruthTable(self.num_vars, bits)
+
+    def compatible_with(
+        self, inputs: Sequence[Optional[int]]
+    ) -> bool:
+        """True if no *assigned* input contradicts a bound literal.
+
+        A don't-care literal is compatible with any assignment, and an
+        unassigned input is compatible with any literal — this is the row
+        "matching" relation of paper §4.
+        """
+        if len(inputs) != self.num_vars:
+            raise LogicError("assignment arity mismatch")
+        for i, value in enumerate(inputs):
+            if value is None:
+                continue
+            lit = self.literal(i)
+            if lit is not None and lit != value:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        chars = {None: "-", 0: "0", 1: "1"}
+        return "".join(chars[self.literal(i)] for i in range(self.num_vars))
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """A truth-table row: an input cube plus the output it produces."""
+
+    cube: Cube
+    output: int
+
+    def __post_init__(self) -> None:
+        if self.output not in (0, 1):
+            raise LogicError(f"row output must be 0/1, got {self.output!r}")
+
+    @property
+    def num_vars(self) -> int:
+        return self.cube.num_vars
+
+    def literal(self, index: int) -> Optional[int]:
+        return self.cube.literal(index)
+
+    def literals(self) -> list[Optional[int]]:
+        return self.cube.literals()
+
+    def dc_size(self) -> int:
+        """Equation 1: the number of don't-care inputs in the row."""
+        return self.cube.num_dc()
+
+    def matches(
+        self, inputs: Sequence[Optional[int]], output: Optional[int]
+    ) -> bool:
+        """Row-matching relation: agree with every assigned pin."""
+        if output is not None and output != self.output:
+            return False
+        return self.cube.compatible_with(inputs)
+
+    def __str__(self) -> str:
+        return f"{self.cube} -> {self.output}"
+
+
+# ----------------------------------------------------------------------
+# Minato–Morreale ISOP
+# ----------------------------------------------------------------------
+
+def _isop(lower: TruthTable, upper: TruthTable) -> tuple[list[Cube], TruthTable]:
+    """Compute an irredundant SOP ``F`` with ``lower <= F <= upper``.
+
+    Returns the cube list and its characteristic function.
+    """
+    num_vars = lower.num_vars
+    if lower.bits == 0:
+        return [], TruthTable.const(num_vars, False)
+    if upper.bits == TruthTable.full_mask(num_vars):
+        return [Cube.full_dc(num_vars)], TruthTable.const(num_vars, True)
+
+    # Pick the highest variable either bound actually depends on.
+    var = -1
+    for i in reversed(range(num_vars)):
+        if lower.depends_on(i) or upper.depends_on(i):
+            var = i
+            break
+    if var < 0:  # pragma: no cover - bounds constant yet not caught above
+        raise LogicError("ISOP invariant violated: no support variable")
+
+    l0, l1 = lower.cofactor(var, 0), lower.cofactor(var, 1)
+    u0, u1 = upper.cofactor(var, 0), upper.cofactor(var, 1)
+
+    cubes0, f0 = _isop(TruthTable(num_vars, l0.bits & ~u1.bits), u0)
+    cubes1, f1 = _isop(TruthTable(num_vars, l1.bits & ~u0.bits), u1)
+
+    new_lower = TruthTable(num_vars, (l0.bits & ~f0.bits) | (l1.bits & ~f1.bits))
+    cubes2, f2 = _isop(new_lower, TruthTable(num_vars, u0.bits & u1.bits))
+
+    cubes = (
+        [c.with_literal(var, 0) for c in cubes0]
+        + [c.with_literal(var, 1) for c in cubes1]
+        + cubes2
+    )
+    var_tt = TruthTable.var(num_vars, var)
+    func_bits = (
+        (~var_tt.bits & f0.bits) | (var_tt.bits & f1.bits) | f2.bits
+    ) & TruthTable.full_mask(num_vars)
+    return cubes, TruthTable(num_vars, func_bits)
+
+
+def isop(table: TruthTable) -> list[Cube]:
+    """An irredundant SOP cover of ``table``'s onset."""
+    cubes, func = _isop(table, table)
+    if func.bits != table.bits:  # pragma: no cover - algorithmic safety net
+        raise LogicError("ISOP result does not equal the input function")
+    return cubes
+
+
+@lru_cache(maxsize=16384)
+def rows_of(table: TruthTable) -> tuple[Row, ...]:
+    """All rows of ``table``: ISOP of the onset plus ISOP of the offset.
+
+    Every minterm of the input space is contained in at least one row, and
+    every row produces the function's value on all its minterms.  Rows are
+    cached per function since LUT networks reuse few distinct functions.
+    """
+    onset = tuple(Row(c, 1) for c in isop(table))
+    offset = tuple(Row(c, 0) for c in isop(~table))
+    return onset + offset
+
+
+@lru_cache(maxsize=16384)
+def packed_rows(table: TruthTable) -> tuple[tuple[int, int, int], ...]:
+    """Rows of ``table`` as ``(mask, values, output)`` integer triples.
+
+    The packed form supports O(1) matching against a partial pin assignment
+    expressed as ``(known_mask, known_values)``: a row matches iff
+    ``(values ^ known_values) & (mask & known_mask) == 0`` and the output
+    agrees — the hot path of the implication engine.
+    """
+    return tuple(
+        (row.cube.mask, row.cube.values, row.output) for row in rows_of(table)
+    )
+
+
+def matching_rows(
+    table: TruthTable,
+    inputs: Sequence[Optional[int]],
+    output: Optional[int],
+) -> list[Row]:
+    """The rows of ``table`` compatible with a partial pin assignment."""
+    return [row for row in rows_of(table) if row.matches(inputs, output)]
+
+
+def iter_minterms(cube: Cube) -> Iterator[int]:
+    """Iterate the minterms contained in a cube (exponential in DC count)."""
+    free = [i for i in range(cube.num_vars) if not (cube.mask >> i) & 1]
+    for combo in range(1 << len(free)):
+        m = cube.values
+        for j, i in enumerate(free):
+            if (combo >> j) & 1:
+                m |= 1 << i
+        yield m

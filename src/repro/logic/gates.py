@@ -1,0 +1,132 @@
+"""Factory functions for the truth tables of common logic gates.
+
+Benchmark generators and hand-built test circuits speak in gate names
+(``and``, ``nand``, ``xor``, ...); this module maps those names to
+:class:`~repro.logic.truthtable.TruthTable` instances of the right arity.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.errors import LogicError
+from repro.logic.truthtable import TruthTable
+
+
+def const0(num_vars: int = 0) -> TruthTable:
+    """Constant 0 of the given arity."""
+    return TruthTable.const(num_vars, False)
+
+
+def const1(num_vars: int = 0) -> TruthTable:
+    """Constant 1 of the given arity."""
+    return TruthTable.const(num_vars, True)
+
+
+def buf() -> TruthTable:
+    """Single-input buffer."""
+    return TruthTable.var(1, 0)
+
+
+def inv() -> TruthTable:
+    """Single-input inverter."""
+    return ~TruthTable.var(1, 0)
+
+
+def and_gate(num_vars: int = 2) -> TruthTable:
+    """N-input AND."""
+    _check_arity(num_vars)
+    return reduce(
+        lambda a, b: a & b,
+        (TruthTable.var(num_vars, i) for i in range(num_vars)),
+    )
+
+
+def or_gate(num_vars: int = 2) -> TruthTable:
+    """N-input OR."""
+    _check_arity(num_vars)
+    return reduce(
+        lambda a, b: a | b,
+        (TruthTable.var(num_vars, i) for i in range(num_vars)),
+    )
+
+
+def nand_gate(num_vars: int = 2) -> TruthTable:
+    """N-input NAND."""
+    return ~and_gate(num_vars)
+
+
+def nor_gate(num_vars: int = 2) -> TruthTable:
+    """N-input NOR."""
+    return ~or_gate(num_vars)
+
+
+def xor_gate(num_vars: int = 2) -> TruthTable:
+    """N-input XOR (odd parity)."""
+    _check_arity(num_vars)
+    return reduce(
+        lambda a, b: a ^ b,
+        (TruthTable.var(num_vars, i) for i in range(num_vars)),
+    )
+
+
+def xnor_gate(num_vars: int = 2) -> TruthTable:
+    """N-input XNOR (even parity)."""
+    return ~xor_gate(num_vars)
+
+
+def mux() -> TruthTable:
+    """2:1 multiplexer: inputs (data0, data1, select)."""
+    d0 = TruthTable.var(3, 0)
+    d1 = TruthTable.var(3, 1)
+    sel = TruthTable.var(3, 2)
+    return (d0 & ~sel) | (d1 & sel)
+
+
+def majority() -> TruthTable:
+    """3-input majority (full-adder carry)."""
+    a, b, c = (TruthTable.var(3, i) for i in range(3))
+    return (a & b) | (a & c) | (b & c)
+
+
+def _check_arity(num_vars: int) -> None:
+    if num_vars < 1:
+        raise LogicError(f"gate arity must be >= 1, got {num_vars}")
+
+
+_FIXED = {
+    "buf": buf,
+    "inv": inv,
+    "not": inv,
+    "mux": mux,
+    "maj": majority,
+    "majority": majority,
+}
+
+_VARIADIC = {
+    "and": and_gate,
+    "or": or_gate,
+    "nand": nand_gate,
+    "nor": nor_gate,
+    "xor": xor_gate,
+    "xnor": xnor_gate,
+}
+
+
+def gate(name: str, num_vars: int | None = None) -> TruthTable:
+    """Look up a gate truth table by name.
+
+    Args:
+        name: Gate name, case-insensitive (``and``, ``nand``, ``inv``, ...).
+        num_vars: Arity for variadic gates; ignored for fixed-arity gates.
+    """
+    key = name.lower()
+    if key in ("const0", "zero", "gnd"):
+        return const0(num_vars or 0)
+    if key in ("const1", "one", "vdd"):
+        return const1(num_vars or 0)
+    if key in _FIXED:
+        return _FIXED[key]()
+    if key in _VARIADIC:
+        return _VARIADIC[key](2 if num_vars is None else num_vars)
+    raise LogicError(f"unknown gate {name!r}")

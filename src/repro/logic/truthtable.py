@@ -1,0 +1,292 @@
+"""Truth tables over a small number of variables.
+
+A :class:`TruthTable` stores the function of one node as a bitmask over its
+``2**num_vars`` minterms: bit ``m`` of :attr:`bits` is the output of the
+function for the input assignment whose variable ``i`` equals bit ``i`` of
+``m`` (variable 0 is the least-significant input).
+
+Tables are the ground truth for everything in SimGen: simulation evaluates
+them, cube extraction (``repro.logic.cubes``) turns them into the rows that
+implication and decision reason about, and the Tseitin encoder turns them
+into CNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import LogicError
+
+#: The largest supported variable count.  2**16 minterm masks are still
+#: cheap Python ints; practical LUTs in this project use K <= 6.
+MAX_VARS = 16
+
+
+def _check_num_vars(num_vars: int) -> None:
+    if not 0 <= num_vars <= MAX_VARS:
+        raise LogicError(f"num_vars must be in [0, {MAX_VARS}], got {num_vars}")
+
+
+@dataclass(frozen=True, slots=True)
+class TruthTable:
+    """An immutable Boolean function of ``num_vars`` inputs.
+
+    Attributes:
+        num_vars: The number of input variables.
+        bits: Minterm bitmask; bit ``m`` is the output for input pattern ``m``.
+    """
+
+    num_vars: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        _check_num_vars(self.num_vars)
+        full = self.full_mask(self.num_vars)
+        if not 0 <= self.bits <= full:
+            raise LogicError(
+                f"bits 0x{self.bits:x} out of range for {self.num_vars} vars"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def full_mask(num_vars: int) -> int:
+        """The bitmask with every minterm of ``num_vars`` variables set."""
+        _check_num_vars(num_vars)
+        return (1 << (1 << num_vars)) - 1
+
+    @classmethod
+    def const(cls, num_vars: int, value: bool) -> "TruthTable":
+        """A constant-``value`` function of ``num_vars`` inputs."""
+        return cls(num_vars, cls.full_mask(num_vars) if value else 0)
+
+    @classmethod
+    def var(cls, num_vars: int, index: int) -> "TruthTable":
+        """The projection function returning input ``index`` unchanged."""
+        _check_num_vars(num_vars)
+        if not 0 <= index < num_vars:
+            raise LogicError(f"variable index {index} out of range ({num_vars} vars)")
+        bits = 0
+        for m in range(1 << num_vars):
+            if (m >> index) & 1:
+                bits |= 1 << m
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_minterms(cls, num_vars: int, minterms: Iterable[int]) -> "TruthTable":
+        """Build a table from the set of input patterns mapped to 1."""
+        _check_num_vars(num_vars)
+        bits = 0
+        size = 1 << num_vars
+        for m in minterms:
+            if not 0 <= m < size:
+                raise LogicError(f"minterm {m} out of range for {num_vars} vars")
+            bits |= 1 << m
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_outputs(cls, outputs: Sequence[int | bool]) -> "TruthTable":
+        """Build a table from the full output column (length must be 2**k)."""
+        size = len(outputs)
+        num_vars = size.bit_length() - 1
+        if size == 0 or (1 << num_vars) != size:
+            raise LogicError(f"output column length {size} is not a power of two")
+        bits = 0
+        for m, value in enumerate(outputs):
+            if value not in (0, 1, False, True):
+                raise LogicError(f"output value {value!r} is not Boolean")
+            if value:
+                bits |= 1 << m
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_hex(cls, num_vars: int, text: str) -> "TruthTable":
+        """Parse an ABC-style hexadecimal truth-table string."""
+        try:
+            bits = int(text, 16)
+        except ValueError as exc:
+            raise LogicError(f"invalid hex truth table {text!r}") from exc
+        return cls(num_vars, bits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of minterms (2**num_vars)."""
+        return 1 << self.num_vars
+
+    def evaluate(self, assignment: Sequence[int | bool]) -> int:
+        """Evaluate on a full input assignment; returns 0 or 1."""
+        if len(assignment) != self.num_vars:
+            raise LogicError(
+                f"assignment has {len(assignment)} values, table has "
+                f"{self.num_vars} vars"
+            )
+        minterm = 0
+        for i, value in enumerate(assignment):
+            if value:
+                minterm |= 1 << i
+        return (self.bits >> minterm) & 1
+
+    def output_for(self, minterm: int) -> int:
+        """The output bit for the input pattern ``minterm``."""
+        if not 0 <= minterm < self.size:
+            raise LogicError(f"minterm {minterm} out of range")
+        return (self.bits >> minterm) & 1
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate over input patterns mapped to 1."""
+        bits = self.bits
+        m = 0
+        while bits:
+            if bits & 1:
+                yield m
+            bits >>= 1
+            m += 1
+
+    def count_ones(self) -> int:
+        """Number of onset minterms."""
+        return self.bits.bit_count()
+
+    def is_const(self) -> bool:
+        """True if the function is constant 0 or constant 1."""
+        return self.bits == 0 or self.bits == self.full_mask(self.num_vars)
+
+    def const_value(self) -> int | None:
+        """0/1 if the function is constant, else ``None``."""
+        if self.bits == 0:
+            return 0
+        if self.bits == self.full_mask(self.num_vars):
+            return 1
+        return None
+
+    def depends_on(self, index: int) -> bool:
+        """True if the function actually depends on input ``index``."""
+        return self.cofactor(index, 0).bits != self.cofactor(index, 1).bits
+
+    def support(self) -> list[int]:
+        """Indices of the inputs the function truly depends on."""
+        return [i for i in range(self.num_vars) if self.depends_on(i)]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _binary(self, other: "TruthTable", op: str) -> "TruthTable":
+        if self.num_vars != other.num_vars:
+            raise LogicError(
+                f"arity mismatch: {self.num_vars} vs {other.num_vars} vars"
+            )
+        if op == "and":
+            bits = self.bits & other.bits
+        elif op == "or":
+            bits = self.bits | other.bits
+        elif op == "xor":
+            bits = self.bits ^ other.bits
+        else:  # pragma: no cover - internal misuse
+            raise LogicError(f"unknown op {op}")
+        return TruthTable(self.num_vars, bits)
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, "and")
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, "or")
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, "xor")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_vars, self.bits ^ self.full_mask(self.num_vars))
+
+    def cofactor(self, index: int, value: int) -> "TruthTable":
+        """Shannon cofactor with input ``index`` fixed to ``value``.
+
+        The result keeps the same arity; the cofactored variable becomes a
+        don't-care input (the table no longer depends on it).
+        """
+        if not 0 <= index < self.num_vars:
+            raise LogicError(f"variable index {index} out of range")
+        if value not in (0, 1):
+            raise LogicError(f"cofactor value must be 0/1, got {value!r}")
+        bits = 0
+        for m in range(self.size):
+            src = (m | (1 << index)) if value else (m & ~(1 << index))
+            if (self.bits >> src) & 1:
+                bits |= 1 << m
+        return TruthTable(self.num_vars, bits)
+
+    def compose(self, fanin_tables: Sequence["TruthTable"]) -> "TruthTable":
+        """Substitute ``fanin_tables[i]`` for input ``i``.
+
+        All fanin tables must share one arity ``n``; the result is a function
+        of those ``n`` base variables.  Used by LUT mapping to compute cut
+        functions.
+        """
+        if len(fanin_tables) != self.num_vars:
+            raise LogicError(
+                f"compose needs {self.num_vars} fanin tables, got "
+                f"{len(fanin_tables)}"
+            )
+        if self.num_vars == 0:
+            return self
+        base = fanin_tables[0].num_vars
+        for table in fanin_tables:
+            if table.num_vars != base:
+                raise LogicError("compose fanin tables must share arity")
+        result_bits = 0
+        for m in range(1 << base):
+            local = 0
+            for i, table in enumerate(fanin_tables):
+                if (table.bits >> m) & 1:
+                    local |= 1 << i
+            if (self.bits >> local) & 1:
+                result_bits |= 1 << m
+        return TruthTable(base, result_bits)
+
+    def permute(self, order: Sequence[int]) -> "TruthTable":
+        """Reorder inputs: new input ``i`` is old input ``order[i]``."""
+        if sorted(order) != list(range(self.num_vars)):
+            raise LogicError(f"order {order!r} is not a permutation")
+        bits = 0
+        for m in range(self.size):
+            src = 0
+            for new_i, old_i in enumerate(order):
+                if (m >> new_i) & 1:
+                    src |= 1 << old_i
+            if (self.bits >> src) & 1:
+                bits |= 1 << m
+        return TruthTable(self.num_vars, bits)
+
+    def expand(self, num_vars: int, positions: Sequence[int]) -> "TruthTable":
+        """Embed into a wider arity: old input ``i`` becomes ``positions[i]``."""
+        _check_num_vars(num_vars)
+        if len(positions) != self.num_vars:
+            raise LogicError("positions length must match arity")
+        if len(set(positions)) != len(positions):
+            raise LogicError("positions must be distinct")
+        for p in positions:
+            if not 0 <= p < num_vars:
+                raise LogicError(f"position {p} out of range for {num_vars} vars")
+        bits = 0
+        for m in range(1 << num_vars):
+            local = 0
+            for i, p in enumerate(positions):
+                if (m >> p) & 1:
+                    local |= 1 << i
+            if (self.bits >> local) & 1:
+                bits |= 1 << m
+        return TruthTable(num_vars, bits)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_hex(self) -> str:
+        """ABC-style zero-padded hexadecimal string."""
+        digits = max(1, (self.size + 3) // 4)
+        return f"{self.bits:0{digits}x}"
+
+    def __str__(self) -> str:
+        return f"TT<{self.num_vars}>:{self.to_hex()}"

@@ -1,0 +1,6 @@
+"""LUT mapping: cut enumeration and depth-oriented covering."""
+
+from repro.mapping.cuts import Cut, cut_function, enumerate_cuts
+from repro.mapping.lutmap import MappingStats, map_to_luts
+
+__all__ = ["Cut", "MappingStats", "cut_function", "enumerate_cuts", "map_to_luts"]

@@ -1,0 +1,125 @@
+"""K-feasible cut enumeration (the foundation of LUT mapping).
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path from
+the PIs to ``n`` crosses a leaf; a cut with at most K leaves can be
+implemented as one K-input LUT.  Cuts are enumerated bottom-up: a gate's
+cuts are the K-feasible unions of one cut per fanin, plus the trivial cut
+``{n}``.  Per node only the ``cut_limit`` best cuts are kept (priority
+cuts), ranked by size then average leaf depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+
+from repro.errors import MappingError
+from repro.logic.truthtable import TruthTable
+from repro.network.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class Cut:
+    """A cut: its leaves (sorted node ids) and the root it cuts."""
+
+    root: int
+    leaves: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def is_trivial(self) -> bool:
+        """The unit cut {root}."""
+        return self.leaves == (self.root,)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def enumerate_cuts(
+    network: Network, k: int = 6, cut_limit: int = 8
+) -> dict[int, list[Cut]]:
+    """All priority cuts for every node.
+
+    Args:
+        k: Maximum leaves per cut (LUT input count).
+        cut_limit: Non-trivial cuts retained per node.
+    """
+    if k < 1:
+        raise MappingError(f"k must be >= 1, got {k}")
+    if cut_limit < 1:
+        raise MappingError(f"cut_limit must be >= 1, got {cut_limit}")
+    levels = network.levels()
+    cuts: dict[int, list[Cut]] = {}
+    for uid in network.topological_order():
+        node = network.node(uid)
+        trivial = Cut(uid, (uid,))
+        if node.is_pi or node.is_const:
+            cuts[uid] = [trivial]
+            continue
+        candidates: dict[tuple[int, ...], Cut] = {}
+        fanin_cut_lists = [cuts[f] for f in node.fanins]
+        for combo in product(*fanin_cut_lists):
+            leaves = set()
+            for cut in combo:
+                leaves.update(cut.leaves)
+                if len(leaves) > k:
+                    break
+            if len(leaves) > k:
+                continue
+            key = tuple(sorted(leaves))
+            if key not in candidates:
+                candidates[key] = Cut(uid, key)
+        ranked = _prune(list(candidates.values()), levels, cut_limit)
+        ranked.append(trivial)
+        cuts[uid] = ranked
+    return cuts
+
+
+def _prune(candidates: list[Cut], levels: dict[int, int], limit: int) -> list[Cut]:
+    """Drop dominated cuts, then keep the ``limit`` best."""
+    kept: list[Cut] = []
+    for cut in sorted(candidates, key=lambda c: c.size):
+        if any(other.dominates(cut) for other in kept):
+            continue
+        kept.append(cut)
+
+    def rank(cut: Cut) -> tuple:
+        depth = max((levels[l] for l in cut.leaves), default=0)
+        return (depth, cut.size, cut.leaves)
+
+    kept.sort(key=rank)
+    return kept[:limit]
+
+
+def cut_function(network: Network, cut: Cut) -> TruthTable:
+    """The root's function expressed over the cut leaves.
+
+    Table variable ``i`` corresponds to ``cut.leaves[i]``.
+    """
+    n = len(cut.leaves)
+    if n > 16:
+        raise MappingError(f"cut with {n} leaves is too wide for a table")
+    memo: dict[int, TruthTable] = {
+        leaf: TruthTable.var(n, i) for i, leaf in enumerate(cut.leaves)
+    }
+
+    def table_of(uid: int) -> TruthTable:
+        if uid in memo:
+            return memo[uid]
+        node = network.node(uid)
+        if node.is_pi:
+            raise MappingError(
+                f"PI {uid} inside cut cone of {cut.root} but not a leaf"
+            )
+        if node.is_const:
+            result = TruthTable.const(n, bool(node.table.bits))
+        else:
+            result = node.table.compose([table_of(f) for f in node.fanins])
+        memo[uid] = result
+        return result
+
+    return table_of(cut.root)

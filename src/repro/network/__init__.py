@@ -1,0 +1,40 @@
+"""Boolean-network substrate: DAG, cones, traversals, builder, validation."""
+
+from repro.network.build import NetworkBuilder
+from repro.network.cones import (
+    MffcCache,
+    fanin_cone,
+    fanout_cone,
+    ffc_check,
+    mffc,
+    mffc_depth,
+    mffc_leaves,
+)
+from repro.network.network import Network
+from repro.network.node import Node, NodeKind
+from repro.network.traversal import (
+    cone_pis,
+    cone_topological_order,
+    dfs_fanin,
+    reachable_fanout,
+)
+from repro.network.validate import validate
+
+__all__ = [
+    "MffcCache",
+    "Network",
+    "NetworkBuilder",
+    "Node",
+    "NodeKind",
+    "cone_pis",
+    "cone_topological_order",
+    "dfs_fanin",
+    "fanin_cone",
+    "fanout_cone",
+    "ffc_check",
+    "mffc",
+    "mffc_depth",
+    "mffc_leaves",
+    "reachable_fanout",
+    "validate",
+]

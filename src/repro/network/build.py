@@ -1,0 +1,167 @@
+"""Convenience builder for constructing networks gate-by-gate.
+
+The :class:`NetworkBuilder` keeps test circuits and benchmark generators
+readable: named gates, word-level buses, and common arithmetic blocks built
+from primitive gates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.logic import gates
+from repro.logic.truthtable import TruthTable
+from repro.network.network import Network
+
+
+class NetworkBuilder:
+    """Fluent construction of a :class:`~repro.network.network.Network`."""
+
+    def __init__(self, name: str = "network"):
+        self.network = Network(name)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def pi(self, name: Optional[str] = None) -> int:
+        """Add one primary input."""
+        return self.network.add_pi(name)
+
+    def pis(self, count: int, prefix: str = "x") -> list[int]:
+        """Add ``count`` primary inputs named ``prefix0..``."""
+        return [self.pi(f"{prefix}{i}") for i in range(count)]
+
+    def po(self, node: int, name: Optional[str] = None) -> None:
+        """Mark a node as a primary output."""
+        self.network.add_po(node, name)
+
+    def table(
+        self,
+        table: TruthTable,
+        fanins: Sequence[int],
+        name: Optional[str] = None,
+    ) -> int:
+        """Add a gate with an explicit truth table."""
+        return self.network.add_gate(table, fanins, name)
+
+    def gate(
+        self, kind: str, fanins: Sequence[int], name: Optional[str] = None
+    ) -> int:
+        """Add a named-kind gate (``and``, ``nand``, ``xor``, ``inv``, ...)."""
+        return self.network.add_gate(
+            gates.gate(kind, len(fanins)), fanins, name
+        )
+
+    def const(self, value: bool, name: Optional[str] = None) -> int:
+        """Add a constant node."""
+        return self.network.add_const(value, name)
+
+    # Shorthand binary/unary ops -----------------------------------------
+    def and_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("and", [a, b], name)
+
+    def or_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("or", [a, b], name)
+
+    def xor_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("xor", [a, b], name)
+
+    def nand_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("nand", [a, b], name)
+
+    def nor_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("nor", [a, b], name)
+
+    def xnor_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate("xnor", [a, b], name)
+
+    def not_(self, a: int, name: Optional[str] = None) -> int:
+        return self.gate("inv", [a], name)
+
+    def mux_(self, d0: int, d1: int, sel: int, name: Optional[str] = None) -> int:
+        """2:1 mux, output = sel ? d1 : d0."""
+        return self.gate("mux", [d0, d1, sel], name)
+
+    def maj_(self, a: int, b: int, c: int, name: Optional[str] = None) -> int:
+        return self.gate("maj", [a, b, c], name)
+
+    # ------------------------------------------------------------------
+    # Trees and words
+    # ------------------------------------------------------------------
+    def reduce_tree(self, kind: str, operands: Sequence[int]) -> int:
+        """Balanced binary tree of 2-input ``kind`` gates over the operands."""
+        if not operands:
+            raise NetworkError("reduce_tree needs at least one operand")
+        layer = list(operands)
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.gate(kind, [layer[i], layer[i + 1]]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        """Returns (sum, carry)."""
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Returns (sum, carry-out)."""
+        s = self.xor_(self.xor_(a, b), cin)
+        c = self.maj_(a, b, cin)
+        return s, c
+
+    def ripple_adder(
+        self, a: Sequence[int], b: Sequence[int], cin: Optional[int] = None
+    ) -> tuple[list[int], int]:
+        """Word addition; returns (sum bits LSB-first, carry-out)."""
+        if len(a) != len(b):
+            raise NetworkError("ripple_adder operands must have equal width")
+        carry = cin if cin is not None else self.const(False)
+        sums: list[int] = []
+        for ai, bi in zip(a, b):
+            s, carry = self.full_adder(ai, bi, carry)
+            sums.append(s)
+        return sums, carry
+
+    def subtractor(self, a: Sequence[int], b: Sequence[int]) -> tuple[list[int], int]:
+        """Word subtraction a-b (two's complement); returns (diff, borrow-free carry)."""
+        inv_b = [self.not_(bi) for bi in b]
+        one = self.const(True)
+        return self.ripple_adder(a, inv_b, one)
+
+    def multiplier(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Array multiplier; returns ``len(a)+len(b)`` product bits LSB-first."""
+        width = len(a) + len(b)
+        zero = self.const(False)
+        acc: list[int] = [zero] * width
+        for j, bj in enumerate(b):
+            partial = [zero] * width
+            for i, ai in enumerate(a):
+                partial[i + j] = self.and_(ai, bj)
+            acc, _ = self.ripple_adder(acc, partial)
+        return acc
+
+    def equal_const(self, word: Sequence[int], value: int) -> int:
+        """Comparator: 1 iff the word equals the constant ``value``."""
+        bits = []
+        for i, w in enumerate(word):
+            bits.append(w if (value >> i) & 1 else self.not_(w))
+        return self.reduce_tree("and", bits)
+
+    def less_than(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Unsigned comparator a < b."""
+        if len(a) != len(b):
+            raise NetworkError("less_than operands must have equal width")
+        lt = self.const(False)
+        for ai, bi in zip(a, b):  # LSB first; rebuild from LSB upward
+            bit_lt = self.and_(self.not_(ai), bi)
+            bit_eq = self.xnor_(ai, bi)
+            lt = self.or_(bit_lt, self.and_(bit_eq, lt))
+        return lt
+
+    def build(self) -> Network:
+        """The constructed network."""
+        return self.network

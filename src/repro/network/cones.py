@@ -1,0 +1,129 @@
+"""Cones: fanin/fanout cones, fanout-free cones, and MFFCs (paper §2.1, §5).
+
+The MFFC (maximum fanout-free cone) of a node is the largest set of nodes in
+its fanin cone whose every path to a PO passes through the node.  SimGen's
+MFFC decision heuristic scores truth-table rows by the *depth* of the MFFC
+of each bound fanin (Equations 2–3); :class:`MffcCache` memoizes those
+depths for the duration of one generation pass over a static network.
+"""
+
+from __future__ import annotations
+
+from repro.network.network import Network
+
+
+def fanin_cone(network: Network, root: int, include_root: bool = True) -> set[int]:
+    """All nodes with a path to ``root`` (transitive fanins)."""
+    cone: set[int] = set()
+    stack = list(network.node(root).fanins)
+    while stack:
+        uid = stack.pop()
+        if uid in cone:
+            continue
+        cone.add(uid)
+        stack.extend(network.node(uid).fanins)
+    if include_root:
+        cone.add(root)
+    return cone
+
+
+def fanout_cone(network: Network, root: int, include_root: bool = True) -> set[int]:
+    """All nodes reachable from ``root`` (transitive fanouts)."""
+    cone: set[int] = set()
+    stack = list(network.fanouts(root))
+    while stack:
+        uid = stack.pop()
+        if uid in cone:
+            continue
+        cone.add(uid)
+        stack.extend(network.fanouts(uid))
+    if include_root:
+        cone.add(root)
+    return cone
+
+
+def mffc(network: Network, root: int) -> set[int]:
+    """The maximum fanout-free cone of ``root`` (always contains the root).
+
+    Computed by reference-count dereferencing: a fanin joins the MFFC when
+    *all* of its fanouts are already inside.  PIs never join (they are cone
+    leaves by definition and typically feed other logic); a PI root yields
+    the singleton ``{root}``.
+    """
+    node = network.node(root)
+    if node.is_pi:
+        return {root}
+    inside = {root}
+    # Count, for each candidate, how many of its fanouts are inside.
+    counted: dict[int, int] = {}
+    stack = [root]
+    while stack:
+        uid = stack.pop()
+        for f in set(network.node(uid).fanins):
+            fnode = network.node(f)
+            if fnode.is_pi or f in inside:
+                continue
+            counted[f] = counted.get(f, 0) + 1
+            if counted[f] == network.num_fanouts(f):
+                inside.add(f)
+                stack.append(f)
+    return inside
+
+
+def ffc_check(network: Network, root: int, cone: set[int]) -> bool:
+    """True if ``cone`` is a fanout-free cone of ``root``.
+
+    Every node of the cone (other than the root) must have all its fanouts
+    inside the cone, and every cone node must lie in the fanin cone of the
+    root.  Used by tests to cross-validate :func:`mffc`.
+    """
+    if root not in cone:
+        return False
+    full_cone = fanin_cone(network, root)
+    for uid in cone:
+        if uid not in full_cone:
+            return False
+        if uid == root:
+            continue
+        if any(out not in cone for out in network.fanouts(uid)):
+            return False
+    return True
+
+
+def mffc_leaves(network: Network, cone: set[int]) -> list[int]:
+    """Cone nodes with no fanin inside the cone (paper §2.1 'leaves')."""
+    return sorted(
+        uid
+        for uid in cone
+        if not any(f in cone for f in network.node(uid).fanins)
+    )
+
+
+def mffc_depth(network: Network, root: int) -> float:
+    """Equation 2: mean over MFFC leaves of ``level(root) - level(leaf)``."""
+    cone = mffc(network, root)
+    leaves = mffc_leaves(network, cone)
+    if not leaves:  # pragma: no cover - cone always contains >= 1 leaf
+        return 0.0
+    root_level = network.level(root)
+    total = sum(root_level - network.level(leaf) for leaf in leaves)
+    return total / len(leaves)
+
+
+class MffcCache:
+    """Memoized MFFC depths for a static network.
+
+    One SimGen run makes many decisions over the same network; recomputing
+    MFFCs per decision would dominate runtime.  The cache assumes the
+    network is not structurally modified while in use.
+    """
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._depths: dict[int, float] = {}
+
+    def depth(self, uid: int) -> float:
+        """Equation 2 depth of the MFFC rooted at ``uid`` (cached)."""
+        if uid not in self._depths:
+            self._depths[uid] = mffc_depth(self._network, uid)
+        return self._depths[uid]

@@ -1,0 +1,98 @@
+"""Node of a Boolean network.
+
+Each node produces a single output bit (paper §2.1).  A node is either a
+primary input (no fanins, no function) or a gate/LUT carrying a
+:class:`~repro.logic.truthtable.TruthTable` over its fanins.  Constants are
+zero-fanin gates with a constant table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.logic.truthtable import TruthTable
+
+
+class NodeKind(Enum):
+    """Structural role of a node."""
+
+    PI = "pi"
+    GATE = "gate"
+
+
+@dataclass(slots=True)
+class Node:
+    """A single-output node in a Boolean network.
+
+    Attributes:
+        uid: Network-unique integer id (assigned by the network).
+        kind: :class:`NodeKind` — primary input or gate.
+        fanins: Ids of fanin nodes, in truth-table variable order
+            (fanin ``i`` is table variable ``i``).
+        table: The node's function; ``None`` for primary inputs.
+        name: Optional human-readable name (from BLIF/BENCH or builders).
+    """
+
+    uid: int
+    kind: NodeKind
+    fanins: tuple[int, ...] = ()
+    table: Optional[TruthTable] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.PI:
+            if self.fanins or self.table is not None:
+                raise NetworkError(f"PI node {self.uid} cannot have fanins/table")
+        else:
+            if self.table is None:
+                raise NetworkError(f"gate node {self.uid} needs a truth table")
+            if self.table.num_vars != len(self.fanins):
+                raise NetworkError(
+                    f"node {self.uid}: table arity {self.table.num_vars} != "
+                    f"{len(self.fanins)} fanins"
+                )
+
+    @property
+    def is_pi(self) -> bool:
+        """True for primary inputs."""
+        return self.kind is NodeKind.PI
+
+    @property
+    def is_gate(self) -> bool:
+        """True for gates/LUTs (including constants)."""
+        return self.kind is NodeKind.GATE
+
+    @property
+    def is_const(self) -> bool:
+        """True for zero-fanin constant gates."""
+        return self.is_gate and not self.fanins
+
+    @property
+    def num_fanins(self) -> int:
+        return len(self.fanins)
+
+    def fanin_index(self, fanin_uid: int) -> int:
+        """The truth-table variable position of a fanin id.
+
+        Raises :class:`NetworkError` if the id is not a fanin.  If a node id
+        appears multiple times in the fanin list the first position is
+        returned.
+        """
+        try:
+            return self.fanins.index(fanin_uid)
+        except ValueError as exc:
+            raise NetworkError(
+                f"node {fanin_uid} is not a fanin of node {self.uid}"
+            ) from exc
+
+    def label(self) -> str:
+        """Display name: the explicit name or ``n<uid>``."""
+        return self.name if self.name is not None else f"n{self.uid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_pi:
+            return f"Node(pi {self.label()})"
+        return f"Node(gate {self.label()} <- {list(self.fanins)} {self.table})"

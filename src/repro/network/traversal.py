@@ -1,0 +1,69 @@
+"""Graph traversals used throughout the flow.
+
+Algorithm 1 of the paper calls ``dfs(targetNode)`` to list the fanin cone of
+a target in depth-first order; :func:`dfs_fanin` is that routine.  The other
+helpers provide cone-restricted topological orders used by the simulator,
+the Tseitin encoder, and the sweeping engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.network import Network
+
+
+def dfs_fanin(network: Network, root: int) -> list[int]:
+    """Depth-first list of the fanin cone of ``root`` (root first).
+
+    Fanins are visited in declaration order; every node appears once.  The
+    returned list is the paper's ``listDfs``.
+    """
+    order: list[int] = []
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        uid = stack.pop()
+        if uid in seen:
+            continue
+        seen.add(uid)
+        order.append(uid)
+        node = network.node(uid)
+        # Reverse so the first fanin is explored first.
+        for f in reversed(node.fanins):
+            if f not in seen:
+                stack.append(f)
+    return order
+
+
+def cone_topological_order(network: Network, roots: Iterable[int]) -> list[int]:
+    """Topological order restricted to the union of the roots' fanin cones."""
+    cone: set[int] = set()
+    stack = list(roots)
+    while stack:
+        uid = stack.pop()
+        if uid in cone:
+            continue
+        cone.add(uid)
+        stack.extend(network.node(uid).fanins)
+    return [uid for uid in network.topological_order() if uid in cone]
+
+
+def cone_pis(network: Network, root: int) -> list[int]:
+    """Primary inputs in the fanin cone of ``root``, in id order."""
+    return sorted(
+        uid for uid in dfs_fanin(network, root) if network.node(uid).is_pi
+    )
+
+
+def reachable_fanout(network: Network, root: int) -> set[int]:
+    """All nodes in the fanout cone of ``root`` (excluding the root)."""
+    seen: set[int] = set()
+    stack = list(network.fanouts(root))
+    while stack:
+        uid = stack.pop()
+        if uid in seen:
+            continue
+        seen.add(uid)
+        stack.extend(network.fanouts(uid))
+    return seen

@@ -1,0 +1,46 @@
+"""Structural validation of Boolean networks.
+
+Run :func:`validate` after hand-construction, parsing, or transformation to
+catch inconsistencies early (the EDA equivalent of an assert-clean netlist).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.network.network import Network
+
+
+def validate(network: Network) -> None:
+    """Raise :class:`NetworkError` on any structural inconsistency.
+
+    Checks: fanin existence, fanin/table arity agreement, fanout symmetry,
+    PO targets exist, and acyclicity (via topological order).
+    """
+    for node in network.nodes():
+        for f in node.fanins:
+            if f not in network:
+                raise NetworkError(
+                    f"node {node.uid} references missing fanin {f}"
+                )
+        if node.is_gate and node.table is not None:
+            if node.table.num_vars != len(node.fanins):
+                raise NetworkError(
+                    f"node {node.uid}: arity mismatch "
+                    f"({node.table.num_vars} vs {len(node.fanins)})"
+                )
+        for f in set(node.fanins):
+            if node.uid not in network.fanouts(f):
+                raise NetworkError(
+                    f"fanout list of {f} is missing reader {node.uid}"
+                )
+    for uid in network.node_ids():
+        for reader in network.fanouts(uid):
+            if uid not in network.node(reader).fanins:
+                raise NetworkError(
+                    f"fanout list of {uid} lists non-reader {reader}"
+                )
+    for name, uid in network.pos:
+        if uid not in network:
+            raise NetworkError(f"PO {name!r} references missing node {uid}")
+    # Raises on cycles.
+    network.topological_order()

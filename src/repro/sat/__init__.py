@@ -1,0 +1,15 @@
+"""SAT substrate: CNF, CDCL solver, Tseitin encoding, miters."""
+
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, SatResult, solve_cnf
+from repro.sat.tseitin import TseitinEncoder, pair_miter, po_miter
+
+__all__ = [
+    "CdclSolver",
+    "Cnf",
+    "SatResult",
+    "TseitinEncoder",
+    "pair_miter",
+    "po_miter",
+    "solve_cnf",
+]

@@ -1,0 +1,108 @@
+"""CNF formulas in DIMACS convention.
+
+Literals are non-zero ints: ``v`` is the positive literal of variable ``v``
+(1-based), ``-v`` its negation.  The container is deliberately dumb — the
+solver and the Tseitin encoder hold the logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.errors import SatError
+
+
+class Cnf:
+    """A CNF formula: a variable count and a list of clauses."""
+
+    def __init__(self, num_vars: int = 0):
+        if num_vars < 0:
+            raise SatError("num_vars must be >= 0")
+        self.num_vars = num_vars
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append a clause; grows ``num_vars`` if literals exceed it."""
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise SatError("literal 0 is not allowed")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Append many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, model: Mapping[int, bool]) -> bool:
+        """True if the model satisfies every clause."""
+        for clause in self.clauses:
+            if not any(
+                model.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def brute_force(self) -> Optional[dict[int, bool]]:
+        """Exhaustive SAT check; returns a model or ``None``.
+
+        Exponential — test/validation use only (``num_vars`` capped at 20).
+        """
+        if self.num_vars > 20:
+            raise SatError("brute_force capped at 20 variables")
+        for bits in range(1 << self.num_vars):
+            model = {v: bool((bits >> (v - 1)) & 1) for v in range(1, self.num_vars + 1)}
+            if self.evaluate(model):
+                return model
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse DIMACS CNF text."""
+        cnf: Optional[Cnf] = None
+        pending: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise SatError(f"bad DIMACS header: {line!r}")
+                cnf = cls(int(parts[2]))
+                continue
+            if cnf is None:
+                raise SatError("clause before DIMACS header")
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if cnf is None:
+            raise SatError("missing DIMACS header")
+        if pending:
+            cnf.add_clause(pending)
+        return cnf

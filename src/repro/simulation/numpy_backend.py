@@ -1,0 +1,126 @@
+"""Alternative numpy simulation backend (cross-validation + experiments).
+
+The default simulator packs all patterns of a batch into one Python big
+integer per node; this backend stores each node as a ``uint64`` array of
+pattern words and evaluates cubes with vectorized bitwise operations.
+
+Measured finding (see ``benchmarks/bench_infrastructure.py``): CPython's
+big-int bitwise operations outperform this array formulation by ~5x even
+at 4096-pattern widths — the per-cube array temporaries and int/array
+conversions dominate.  The backend is therefore kept as an independent
+*cross-validation oracle* for the primary simulator (results are
+bit-identical, checked in the test suite) and as the starting point for
+anyone porting the flow to GPU-style array runtimes, not as a speedup.
+
+numpy is an optional dependency: instantiating the backend without numpy
+raises ``SimulationError`` with a clear message.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.simulation.simulator import _eval_plan
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.network.network import Network
+
+_WORD_BITS = 64
+
+
+def _require_numpy() -> None:
+    if _np is None:  # pragma: no cover
+        raise SimulationError(
+            "numpy is not installed; use repro.simulation.Simulator instead"
+        )
+
+
+def int_to_words(value: int, width: int):
+    """Pack a Python big-int bit vector into a uint64 array."""
+    _require_numpy()
+    num_words = max(1, (width + _WORD_BITS - 1) // _WORD_BITS)
+    out = _np.zeros(num_words, dtype=_np.uint64)
+    mask = (1 << _WORD_BITS) - 1
+    for w in range(num_words):
+        out[w] = (value >> (w * _WORD_BITS)) & mask
+    return out
+
+
+def words_to_int(words, width: int) -> int:
+    """Unpack a uint64 array back into a Python big-int bit vector."""
+    value = 0
+    for w, chunk in enumerate(words):
+        value |= int(chunk) << (w * _WORD_BITS)
+    return value & ((1 << width) - 1)
+
+
+class NumpySimulator:
+    """Bit-parallel simulation on uint64 numpy arrays.
+
+    API mirrors :class:`~repro.simulation.simulator.Simulator.run_words`;
+    PI words are plain ints (as produced by :class:`PatternBatch`) and the
+    result maps node ids to plain ints, so the two backends are drop-in
+    interchangeable.
+    """
+
+    def __init__(self, network: Network):
+        _require_numpy()
+        self.network = network
+        self._topo = network.topological_order()
+
+    def run_words(
+        self, pi_words: Mapping[int, int], width: int
+    ) -> dict[int, int]:
+        if width < 0:
+            raise SimulationError("width must be >= 0")
+        num_words = max(1, (width + _WORD_BITS - 1) // _WORD_BITS)
+        # Mask for the (possibly partial) top word.
+        top_bits = width - (num_words - 1) * _WORD_BITS
+        full = _np.uint64((1 << _WORD_BITS) - 1)
+        mask = _np.full(num_words, full, dtype=_np.uint64)
+        if top_bits < _WORD_BITS:
+            mask[-1] = _np.uint64((1 << max(0, top_bits)) - 1)
+
+        arrays: dict[int, object] = {}
+        for pi in self.network.pis:
+            if pi not in pi_words:
+                raise SimulationError(f"missing word for PI {pi}")
+            arrays[pi] = int_to_words(pi_words[pi], width) & mask
+
+        zeros = _np.zeros(num_words, dtype=_np.uint64)
+        for uid in self._topo:
+            node = self.network.node(uid)
+            if node.is_pi:
+                continue
+            if node.is_const:
+                arrays[uid] = mask.copy() if node.table.bits else zeros.copy()
+                continue
+            complement, cubes = _eval_plan(node.table)
+            fanin_arrays = [arrays[f] for f in node.fanins]
+            result = zeros.copy()
+            for cube_mask, cube_values in cubes:
+                term = mask.copy()
+                i = 0
+                m = cube_mask
+                while m:
+                    if m & 1:
+                        word = fanin_arrays[i]
+                        if (cube_values >> i) & 1:
+                            term &= word
+                        else:
+                            term &= ~word & mask
+                    m >>= 1
+                    i += 1
+                result |= term
+            if complement:
+                result = ~result & mask
+            arrays[uid] = result
+
+        return {
+            uid: words_to_int(array, width) for uid, array in arrays.items()
+        }

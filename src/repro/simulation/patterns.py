@@ -1,0 +1,111 @@
+"""Input vectors and batched pattern sets.
+
+An :class:`InputVector` is one assignment to the primary inputs, possibly
+partial — pattern generators leave PIs outside the target's cone unassigned
+and the batch randomizes them at simulation time (paper §3.1).  A
+:class:`PatternBatch` packs many vectors into per-PI words for bit-parallel
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.network.network import Network
+from repro.simulation.bitvec import random_word
+
+
+@dataclass(slots=True)
+class InputVector:
+    """A (possibly partial) assignment of values to primary inputs.
+
+    Attributes:
+        values: Map PI id -> 0/1.  PIs absent from the map are free.
+    """
+
+    values: dict[int, int] = field(default_factory=dict)
+
+    def set(self, pi: int, value: int) -> None:
+        if value not in (0, 1):
+            raise SimulationError(f"PI value must be 0/1, got {value!r}")
+        self.values[pi] = value
+
+    def get(self, pi: int) -> Optional[int]:
+        return self.values.get(pi)
+
+    def is_complete_for(self, pis: Iterable[int]) -> bool:
+        """True if every listed PI has a value."""
+        return all(pi in self.values for pi in pis)
+
+    def completed(self, pis: Iterable[int], rng: random.Random) -> "InputVector":
+        """A copy with every listed PI assigned (free PIs randomized)."""
+        values = dict(self.values)
+        for pi in pis:
+            if pi not in values:
+                values[pi] = rng.getrandbits(1)
+        return InputVector(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class PatternBatch:
+    """A set of input vectors packed into per-PI words.
+
+    Pattern ``p`` of the batch is vector ``p`` in insertion order.  Free PI
+    bits are filled from the batch's RNG so that every stored vector is
+    total.
+    """
+
+    def __init__(self, pis: Iterable[int], rng: Optional[random.Random] = None):
+        self.pis = tuple(pis)
+        self._rng = rng or random.Random(0)
+        self._words: dict[int, int] = {pi: 0 for pi in self.pis}
+        self.width = 0
+
+    def add_vector(self, vector: InputVector | Mapping[int, int]) -> int:
+        """Append one vector; returns its pattern index."""
+        values = vector.values if isinstance(vector, InputVector) else vector
+        position = self.width
+        for pi in self.pis:
+            value = values.get(pi)
+            if value is None:
+                value = self._rng.getrandbits(1)
+            elif value not in (0, 1):
+                raise SimulationError(f"PI value must be 0/1, got {value!r}")
+            if value:
+                self._words[pi] |= 1 << position
+        self.width += 1
+        return position
+
+    def add_random(self, count: int = 1) -> None:
+        """Append ``count`` fully random vectors."""
+        if count < 0:
+            raise SimulationError("count must be >= 0")
+        for pi in self.pis:
+            self._words[pi] |= random_word(self._rng, count) << self.width
+        self.width += count
+
+    def words(self) -> dict[int, int]:
+        """Per-PI packed words (PI id -> word of ``width`` bits)."""
+        return dict(self._words)
+
+    def vector_at(self, position: int) -> InputVector:
+        """Recover the total vector stored at pattern index ``position``."""
+        if not 0 <= position < self.width:
+            raise SimulationError(f"pattern index {position} out of range")
+        return InputVector(
+            {pi: (self._words[pi] >> position) & 1 for pi in self.pis}
+        )
+
+    @classmethod
+    def random_for(
+        cls, network: Network, count: int, rng: Optional[random.Random] = None
+    ) -> "PatternBatch":
+        """A batch of ``count`` random vectors over a network's PIs."""
+        batch = cls(network.pis, rng)
+        batch.add_random(count)
+        return batch

@@ -1,0 +1,93 @@
+"""Vector-quality metrics from the related work (paper §2.3).
+
+Lee et al. score vectors by *expressiveness* (how many distinct node
+values they produce relative to earlier patterns) and Amarù et al. by
+*toggle rate* (how many nodes change value between consecutive patterns).
+These metrics let experiments quantify — independently of the sweep —
+why SimGen's vectors split classes that random patterns cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.network.network import Network
+from repro.simulation.patterns import PatternBatch
+from repro.simulation.simulator import Simulator
+
+
+@dataclass(slots=True)
+class VectorQuality:
+    """Per-batch quality summary."""
+
+    #: Patterns in the batch.
+    patterns: int
+    #: Mean fraction of nodes toggling between consecutive patterns.
+    toggle_rate: float
+    #: Number of classes the batch's signatures induce over the nodes
+    #: (more classes = more expressive distinctions).
+    signature_classes: int
+    #: Fraction of nodes whose value is constant across the whole batch.
+    constant_fraction: float
+
+
+def batch_quality(
+    network: Network,
+    batch: PatternBatch,
+    nodes: Sequence[int] | None = None,
+) -> VectorQuality:
+    """Evaluate a batch's quality metrics over the given nodes.
+
+    Args:
+        nodes: Node ids to score (default: all gates).
+    """
+    if nodes is None:
+        nodes = [n.uid for n in network.gates()]
+    values = Simulator(network).run_batch(batch)
+    width = batch.width
+    if width == 0 or not nodes:
+        return VectorQuality(0, 0.0, 0, 0.0)
+    mask = (1 << width) - 1
+
+    toggles = 0
+    constants = 0
+    signatures: set[int] = set()
+    for uid in nodes:
+        word = values[uid] & mask
+        signatures.add(word)
+        if word == 0 or word == mask:
+            constants += 1
+        # Toggles between consecutive patterns p and p+1: the set bits of
+        # word XOR (word >> 1), restricted to the width-1 valid positions.
+        if width > 1:
+            transition_mask = (1 << (width - 1)) - 1
+            toggles += ((word ^ (word >> 1)) & transition_mask).bit_count()
+    toggle_rate = (
+        toggles / (len(nodes) * (width - 1)) if width > 1 else 0.0
+    )
+    return VectorQuality(
+        patterns=width,
+        toggle_rate=toggle_rate,
+        signature_classes=len(signatures),
+        constant_fraction=constants / len(nodes),
+    )
+
+
+def distinguishing_power(
+    network: Network,
+    batch: PatternBatch,
+    classes: Sequence[Sequence[int]],
+) -> int:
+    """How many class splits the batch would cause (without applying them).
+
+    For each class, counts the number of distinct signatures minus one —
+    the direct analogue of the Equation-5 cost reduction the batch buys.
+    """
+    values = Simulator(network).run_batch(batch)
+    mask = (1 << batch.width) - 1
+    splits = 0
+    for members in classes:
+        signatures = {values[uid] & mask for uid in members}
+        splits += len(signatures) - 1
+    return splits

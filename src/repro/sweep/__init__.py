@@ -1,0 +1,22 @@
+"""SAT sweeping: equivalence classes, the sweep engine, and CEC on top."""
+
+from repro.sweep.cexmin import minimize_counterexample
+from repro.sweep.reduce import ReductionStats, reduce_network, sweep_and_reduce
+from repro.sweep.cec import CecResult, check_equivalence, union_network
+from repro.sweep.classes import EquivalenceClasses
+from repro.sweep.engine import SweepConfig, SweepEngine, SweepMetrics, SweepResult
+
+__all__ = [
+    "CecResult",
+    "ReductionStats",
+    "EquivalenceClasses",
+    "SweepConfig",
+    "SweepEngine",
+    "SweepMetrics",
+    "SweepResult",
+    "check_equivalence",
+    "minimize_counterexample",
+    "reduce_network",
+    "sweep_and_reduce",
+    "union_network",
+]

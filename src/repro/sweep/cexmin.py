@@ -1,0 +1,100 @@
+"""Counterexample minimization.
+
+SAT models assign every PI in the encoded cones; for debugging (and for
+the 1-distance generator's seeds) a *minimal* distinguishing vector is far
+more useful.  Minimization is two-stage: drop PIs outside the union of the
+two nodes' cone supports, then greedily try to free each remaining PI,
+keeping the vector distinguishing after every step (verified by
+simulation with both values of the freed PI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SweepError
+from repro.network.network import Network
+from repro.network.traversal import cone_pis
+from repro.simulation.patterns import InputVector
+from repro.simulation.simulator import Simulator
+
+
+def _distinguishes_for_all(
+    simulator: Simulator,
+    network: Network,
+    values: dict[int, int],
+    free: list[int],
+    node_a: int,
+    node_b: int,
+) -> bool:
+    """True if a != b for *every* completion of the free PIs.
+
+    Checked by simulating all completions bit-parallel: free PI ``i`` gets
+    the exhaustive variable word, bound PIs get constants.
+    """
+    if len(free) > 12:
+        return False  # too many completions to verify exhaustively
+    width = 1 << len(free)
+    mask = (1 << width) - 1
+    from repro.simulation.bitvec import exhaustive_word
+
+    words: dict[int, int] = {}
+    for pi in network.pis:
+        if pi in values:
+            words[pi] = mask if values[pi] else 0
+        else:
+            words[pi] = 0
+    for position, pi in enumerate(free):
+        words[pi] = exhaustive_word(position, len(free))
+    result = simulator.run_words(words, width)
+    return (result[node_a] ^ result[node_b]) == mask
+
+
+def minimize_counterexample(
+    network: Network,
+    vector: InputVector,
+    node_a: int,
+    node_b: int,
+    simulator: Optional[Simulator] = None,
+) -> InputVector:
+    """Shrink a distinguishing vector to a minimal partial assignment.
+
+    The result binds a subset of the input vector's PIs such that *every*
+    completion of the unbound PIs still distinguishes ``node_a`` from
+    ``node_b`` — i.e. the returned partial vector is a distinguishing
+    *cube*, not just one pattern.
+
+    Raises :class:`SweepError` if the input vector does not distinguish
+    the pair in the first place.
+    """
+    simulator = simulator or Simulator(network)
+    support = sorted(
+        set(cone_pis(network, node_a)) | set(cone_pis(network, node_b))
+    )
+    values = {
+        pi: value for pi, value in vector.values.items() if pi in support
+    }
+    missing = [pi for pi in support if pi not in values]
+    if missing:
+        raise SweepError(
+            f"vector does not bind cone PIs {missing} of the pair"
+        )
+    single = simulator.run_words(
+        {pi: values.get(pi, 0) for pi in network.pis}, 1
+    )
+    if single[node_a] == single[node_b]:
+        raise SweepError("vector does not distinguish the pair")
+
+    # Greedy: try to free each support PI (most recently indexed first —
+    # arbitrary but deterministic) while the cube property holds.
+    free: list[int] = []
+    for pi in reversed(support):
+        candidate_values = dict(values)
+        del candidate_values[pi]
+        candidate_free = free + [pi]
+        if _distinguishes_for_all(
+            simulator, network, candidate_values, candidate_free, node_a, node_b
+        ):
+            values = candidate_values
+            free = candidate_free
+    return InputVector(values)

@@ -1,0 +1,122 @@
+"""Equivalence-pair checking against the SAT solver.
+
+Two modes:
+
+* **Incremental** (default): one CDCL solver holds the Tseitin encoding of
+  every cone touched so far; each pair query adds miter clauses guarded by
+  a fresh selector literal and solves under that assumption.  Learnt
+  clauses persist across queries — the trick that makes SAT sweeping
+  practical (and what MiniSat-inside-ABC does).
+* **Fresh**: a new solver and cone encoding per query; slower but simpler,
+  kept for cross-checking the incremental path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.network import Network
+from repro.sat.solver import CdclSolver, SatResult
+from repro.sat.tseitin import TseitinEncoder, pair_miter
+from repro.simulation.patterns import InputVector
+
+
+@dataclass(slots=True)
+class CheckerStats:
+    """Counters a sweep reports from its SAT phase."""
+
+    calls: int = 0
+    sat_time: float = 0.0
+    proven: int = 0
+    disproven: int = 0
+    unknown: int = 0
+
+
+class PairChecker:
+    """Answers "are these two nodes equivalent?" queries."""
+
+    def __init__(
+        self,
+        network: Network,
+        conflict_limit: Optional[int] = 20000,
+        incremental: bool = True,
+    ):
+        self.network = network
+        self.conflict_limit = conflict_limit
+        self.incremental = incremental
+        self.stats = CheckerStats()
+        if incremental:
+            self._solver = CdclSolver()
+            self._encoder = TseitinEncoder(network)
+            self._clauses_loaded = 0
+
+    # ------------------------------------------------------------------
+    def check(
+        self, node_a: int, node_b: int, complement: bool = False
+    ) -> tuple[SatResult, Optional[InputVector]]:
+        """One equivalence query.
+
+        Returns ``(UNSAT, None)`` when the nodes are proven equivalent
+        (or complement-equivalent when ``complement``), ``(SAT, vector)``
+        with a distinguishing input vector otherwise, or
+        ``(UNKNOWN, None)`` at the conflict budget.
+        """
+        start = time.perf_counter()
+        if self.incremental:
+            result, vector = self._check_incremental(node_a, node_b, complement)
+        else:
+            result, vector = self._check_fresh(node_a, node_b, complement)
+        self.stats.calls += 1
+        self.stats.sat_time += time.perf_counter() - start
+        if result is SatResult.UNSAT:
+            self.stats.proven += 1
+        elif result is SatResult.SAT:
+            self.stats.disproven += 1
+        else:
+            self.stats.unknown += 1
+        return result, vector
+
+    # ------------------------------------------------------------------
+    def _check_fresh(
+        self, node_a: int, node_b: int, complement: bool
+    ) -> tuple[SatResult, Optional[InputVector]]:
+        cnf, encoder = pair_miter(self.network, node_a, node_b, complement)
+        solver = CdclSolver()
+        solver.add_cnf(cnf)
+        result = solver.solve(conflict_limit=self.conflict_limit)
+        if result is SatResult.SAT:
+            return result, encoder.model_to_vector(solver.model())
+        return result, None
+
+    def _check_incremental(
+        self, node_a: int, node_b: int, complement: bool
+    ) -> tuple[SatResult, Optional[InputVector]]:
+        var_a = self._encoder.encode_cone(node_a)
+        var_b = self._encoder.encode_cone(node_b)
+        # Ship newly produced Tseitin clauses to the solver.
+        clauses = self._encoder.cnf.clauses
+        while self._clauses_loaded < len(clauses):
+            self._solver.add_clause(clauses[self._clauses_loaded])
+            self._clauses_loaded += 1
+        # Allocate the selector from the shared CNF so later cone encodings
+        # never reuse its index (the solver sizes itself from the clauses).
+        selector = self._encoder.cnf.new_var()
+        if complement:
+            # Under the selector, assert the nodes are EQUAL (SAT would
+            # refute the complement-equivalence candidate).
+            self._solver.add_clause([-selector, var_a, -var_b])
+            self._solver.add_clause([-selector, -var_a, var_b])
+        else:
+            self._solver.add_clause([-selector, var_a, var_b])
+            self._solver.add_clause([-selector, -var_a, -var_b])
+        result = self._solver.solve(
+            assumptions=[selector], conflict_limit=self.conflict_limit
+        )
+        vector = None
+        if result is SatResult.SAT:
+            vector = self._encoder.model_to_vector(self._solver.model())
+        # Retire the selector so this miter never constrains later queries.
+        self._solver.add_clause([-selector])
+        return result, vector

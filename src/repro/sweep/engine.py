@@ -1,0 +1,243 @@
+"""The SAT-sweeping engine (the blue box of the paper's Figure 2).
+
+The flow mirrors a sweeping tool like ABC's fraiging:
+
+1. **Random simulation** partitions all candidate nodes into equivalence
+   classes by signature.
+2. **Guided simulation** (any :class:`~repro.core.generator.BaseVectorGenerator`
+   plugin — RandS, RevS, or SimGen) refines the classes for a fixed number
+   of iterations; the Equation-5 cost is recorded per iteration.
+3. **SAT phase**: for every remaining class, candidate pairs are checked
+   with the CDCL solver; UNSAT proves equivalence, SAT yields a
+   counterexample vector that is simulated back to split further classes
+   (the feedback arrow of Figure 2).
+
+The engine measures exactly what the paper reports: per-iteration cost,
+simulation runtime, SAT calls, and SAT runtime.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.generator import BaseVectorGenerator
+from repro.errors import SweepError
+from repro.network.network import Network
+from repro.sat.solver import SatResult
+from repro.simulation.patterns import InputVector, PatternBatch
+from repro.simulation.simulator import Simulator
+from repro.sweep.checker import PairChecker
+from repro.sweep.classes import EquivalenceClasses
+
+
+@dataclass(slots=True)
+class SweepConfig:
+    """Tunable parameters of a sweep run."""
+
+    #: Master RNG seed; every stage derives from it (deterministic runs).
+    seed: int = 0
+    #: Rounds of initial random simulation (paper §6.1 uses one round).
+    random_rounds: int = 1
+    #: Patterns per random round (one machine word's worth by default).
+    random_width: int = 64
+    #: Guided-generator iterations after random simulation (paper: 20).
+    iterations: int = 20
+    #: Track PIs as class members (off: LUT outputs only, as in §6.1).
+    include_pis: bool = False
+    #: Enable complemented-signature matching (fraiging-style extension).
+    match_complements: bool = False
+    #: CDCL conflict budget per equivalence query (None = unbounded).
+    sat_conflict_limit: Optional[int] = 20000
+    #: Feed SAT counterexamples back into simulation (Figure 2 feedback).
+    resimulate_cex: bool = True
+    #: One persistent solver with selector-guarded miters (ABC-style); the
+    #: fresh-solver-per-query mode exists for cross-checking.
+    incremental_sat: bool = True
+
+
+@dataclass(slots=True)
+class SweepMetrics:
+    """Everything the paper's evaluation reports for one run."""
+
+    #: Equation-5 cost after random simulation and after every iteration.
+    cost_history: list[int] = field(default_factory=list)
+    #: Wall-clock seconds spent generating + simulating vectors.
+    sim_time: float = 0.0
+    #: Seconds per guided iteration (aligned with ``cost_history[1:]``).
+    iteration_times: list[float] = field(default_factory=list)
+    #: Vectors simulated in the simulation phase.
+    vectors_simulated: int = 0
+    #: SAT queries issued in the SAT phase.
+    sat_calls: int = 0
+    #: Wall-clock seconds inside the SAT phase.
+    sat_time: float = 0.0
+    #: Pairs proven equivalent (UNSAT).
+    proven: int = 0
+    #: Pairs disproven with a counterexample (SAT).
+    disproven: int = 0
+    #: Pairs abandoned at the conflict limit.
+    unknown: int = 0
+
+    @property
+    def final_cost(self) -> int:
+        """Cost after the simulation phase (what Table 1 reports)."""
+        if not self.cost_history:
+            raise SweepError("no cost recorded yet")
+        return self.cost_history[-1]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Outcome of a full sweep."""
+
+    classes: EquivalenceClasses
+    metrics: SweepMetrics
+    #: Proven equivalent pairs as (representative, member, complemented?).
+    equivalences: list[tuple[int, int, bool]] = field(default_factory=list)
+
+
+#: Progress callback: (phase, step, cost) — phase is "random", "guided",
+#: or "sat"; step counts iterations/queries; cost is the current Eq. 5 cost.
+SweepObserver = Callable[[str, int, int], None]
+
+
+class SweepEngine:
+    """Drives simulation-based class refinement and SAT resolution."""
+
+    def __init__(
+        self,
+        network: Network,
+        generator: Optional[BaseVectorGenerator] = None,
+        config: Optional[SweepConfig] = None,
+        observer: Optional[SweepObserver] = None,
+    ):
+        self.network = network
+        self.generator = generator
+        self.config = config or SweepConfig()
+        self.simulator = Simulator(network)
+        self.observer = observer
+        self._rng = random.Random(self.config.seed)
+
+    def _notify(self, phase: str, step: int, cost: int) -> None:
+        if self.observer is not None:
+            self.observer(phase, step, cost)
+
+    # ------------------------------------------------------------------
+    # Phase 1 + 2: simulation
+    # ------------------------------------------------------------------
+    def run_simulation_phase(self) -> tuple[EquivalenceClasses, SweepMetrics]:
+        """Random rounds, then guided iterations; returns classes + metrics."""
+        config = self.config
+        metrics = SweepMetrics()
+        classes = EquivalenceClasses(
+            self.network,
+            include_pis=config.include_pis,
+            match_complements=config.match_complements,
+        )
+        start = time.perf_counter()
+        for round_index in range(max(1, config.random_rounds)):
+            batch = PatternBatch(
+                self.network.pis, random.Random(self._rng.random())
+            )
+            batch.add_random(config.random_width)
+            values = self.simulator.run_batch(batch)
+            classes.refine(values, batch.width)
+            metrics.vectors_simulated += batch.width
+            metrics.cost_history.append(classes.cost())
+            self._notify("random", round_index, classes.cost())
+        metrics.sim_time += time.perf_counter() - start
+
+        if self.generator is None:
+            return classes, metrics
+
+        for iteration in range(config.iterations):
+            iter_start = time.perf_counter()
+            vectors = self.generator.generate(classes.splittable())
+            if vectors:
+                batch = PatternBatch(
+                    self.network.pis, random.Random(self._rng.random())
+                )
+                for vector in vectors:
+                    batch.add_vector(vector)
+                values = self.simulator.run_batch(batch)
+                classes.refine(values, batch.width)
+                metrics.vectors_simulated += batch.width
+            elapsed = time.perf_counter() - iter_start
+            metrics.iteration_times.append(elapsed)
+            metrics.sim_time += elapsed
+            metrics.cost_history.append(classes.cost())
+            self._notify("guided", iteration, classes.cost())
+        return classes, metrics
+
+    # ------------------------------------------------------------------
+    # Phase 3: SAT
+    # ------------------------------------------------------------------
+    def run_sat_phase(
+        self, classes: EquivalenceClasses, metrics: SweepMetrics
+    ) -> SweepResult:
+        """Resolve every remaining class with the CDCL solver."""
+        config = self.config
+        result = SweepResult(classes=classes, metrics=metrics)
+        checker = PairChecker(
+            self.network,
+            conflict_limit=config.sat_conflict_limit,
+            incremental=config.incremental_sat,
+        )
+        start = time.perf_counter()
+        while True:
+            pending = classes.splittable()
+            if not pending:
+                break
+            cls = pending[0]
+            # Representative: the shallowest member (cheapest miter cones).
+            rep = min(cls, key=lambda uid: (self.network.level(uid), uid))
+            others = [uid for uid in cls if uid != rep]
+            member = others[0]
+            complemented = classes.phase(rep) != classes.phase(member)
+            outcome, vector = checker.check(rep, member, complemented)
+            metrics.sat_calls += 1
+            self._notify("sat", metrics.sat_calls, classes.cost())
+            if outcome is SatResult.UNSAT:
+                metrics.proven += 1
+                result.equivalences.append((rep, member, complemented))
+                classes.remove_member(member)
+            elif outcome is SatResult.SAT:
+                metrics.disproven += 1
+                if config.resimulate_cex and vector is not None:
+                    self._resimulate(classes, vector, metrics)
+                if classes.same_class(rep, member):
+                    # The counterexample must separate the pair; if phases /
+                    # free PIs conspired against the split, force it.
+                    classes.isolate(member)
+            else:
+                metrics.unknown += 1
+                classes.isolate(member)
+        metrics.sat_time += time.perf_counter() - start
+        return result
+
+    def _resimulate(
+        self,
+        classes: EquivalenceClasses,
+        vector: InputVector,
+        metrics: SweepMetrics,
+    ) -> None:
+        batch = PatternBatch(self.network.pis, random.Random(self._rng.random()))
+        batch.add_vector(vector)
+        values = self.simulator.run_batch(batch)
+        classes.refine(values, batch.width)
+        metrics.vectors_simulated += batch.width
+        # Counterexamples make good seeds for neighbourhood generators
+        # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
+        if self.generator is not None and hasattr(
+            self.generator, "set_seed_vector"
+        ):
+            self.generator.set_seed_vector(vector)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        """Full sweep: simulation phase followed by the SAT phase."""
+        classes, metrics = self.run_simulation_phase()
+        return self.run_sat_phase(classes, metrics)

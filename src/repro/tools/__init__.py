@@ -1,0 +1,5 @@
+"""Command-line netlist utilities (``python -m repro.tools <command>``)."""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,272 @@
+"""Command-line interface over the library's flows.
+
+Commands operate on BLIF or .bench files (format chosen by extension):
+
+* ``stats   <in>``                     — size/depth summary
+* ``map     <in> -o <out> [-k K]``     — K-LUT technology mapping
+* ``strash  <in> -o <out>``            — structural hashing / cleanup
+* ``sweep   <in> [-o <out>]``          — SimGen-accelerated SAT sweeping;
+                                          with ``-o`` writes the reduced
+                                          (merged) network
+* ``cec     <a> <b>``                  — equivalence check two netlists
+* ``putontop <in> -o <out> -n N``      — stack N copies (&putontop)
+* ``gen     <benchmark> -o <out>``     — emit a suite benchmark as a file
+
+Example::
+
+    python -m repro.tools map design.blif -o design.bench -k 6
+    python -m repro.tools cec golden.blif revised.blif
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchgen import benchmark_names, build_benchmark
+from repro.core import factory, make_generator
+from repro.errors import ReproError
+from repro.io import (
+    bench_text,
+    blif_text,
+    read_bench,
+    read_blif,
+)
+from repro.mapping import map_to_luts
+from repro.network.network import Network
+from repro.sweep import (
+    SweepConfig,
+    SweepEngine,
+    check_equivalence,
+    reduce_network,
+)
+from repro.transforms import put_on_top, strash
+
+
+def load_network(path: str) -> Network:
+    """Read a netlist, dispatching on the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".blif":
+        return read_blif(path)
+    if suffix == ".bench":
+        return read_bench(path)
+    if suffix == ".aag":
+        from repro.aig import aig_to_network, read_aag
+
+        return aig_to_network(read_aag(path))
+    raise ReproError(
+        f"unsupported netlist extension {suffix!r} (use .blif/.bench/.aag)"
+    )
+
+
+def save_network(network: Network, path: str) -> None:
+    """Write a netlist, dispatching on the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".blif":
+        text = blif_text(network)
+    elif suffix == ".bench":
+        text = bench_text(network)
+    elif suffix == ".aag":
+        from repro.aig import aag_text, network_to_aig
+
+        text = aag_text(network_to_aig(network))
+    else:
+        raise ReproError(
+            f"unsupported netlist extension {suffix!r} (use .blif/.bench/.aag)"
+        )
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    print(f"name   : {network.name}")
+    print(f"PIs    : {len(network.pis)}")
+    print(f"POs    : {len(network.pos)}")
+    print(f"gates  : {network.num_gates}")
+    print(f"depth  : {network.depth()}")
+    arities = [n.num_fanins for n in network.gates()]
+    if arities:
+        print(f"max fanin: {max(arities)}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    mapped, stats = map_to_luts(network, k=args.k)
+    save_network(mapped, args.output)
+    print(f"mapped to {stats.luts} LUT{stats.k}s, depth {stats.depth} -> {args.output}")
+    return 0
+
+
+def _cmd_strash(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    hashed = strash(network)
+    save_network(hashed, args.output)
+    print(
+        f"strash: {network.num_gates} -> {hashed.num_gates} gates -> "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    generator = make_generator(args.strategy, network, seed=args.seed)
+    config = SweepConfig(
+        seed=args.seed, iterations=args.iterations, random_width=args.patterns
+    )
+    engine = SweepEngine(network, generator, config)
+    result = engine.run()
+    metrics = result.metrics
+    print(
+        f"cost {metrics.cost_history[0]} -> {metrics.final_cost}, "
+        f"{metrics.sat_calls} SAT calls "
+        f"({metrics.proven} proven, {metrics.disproven} disproven), "
+        f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s"
+    )
+    if args.output:
+        reduced, stats = reduce_network(network, result.equivalences)
+        save_network(reduced, args.output)
+        print(
+            f"reduced: {stats.gates_before} -> {stats.gates_after} gates "
+            f"({stats.merged} merges) -> {args.output}"
+        )
+    return 0
+
+
+def _cmd_cec(args: argparse.Namespace) -> int:
+    network_a = load_network(args.golden)
+    network_b = load_network(args.revised)
+    result = check_equivalence(
+        network_a,
+        network_b,
+        generator_factory=factory(args.strategy),
+        config=SweepConfig(seed=args.seed, iterations=args.iterations),
+    )
+    verdict = "EQUIVALENT" if result.equivalent else "DIFFERENT"
+    print(f"{verdict}  ({result.metrics.sat_calls} SAT calls)")
+    for name, state in result.outputs.items():
+        if state != "equal":
+            print(f"  output {name}: {state}")
+    if result.counterexample is not None:
+        values = " ".join(
+            f"{network_a.node(pi).label()}={v}"
+            for pi, v in sorted(result.counterexample.values.items())
+        )
+        print(f"  counterexample: {values}")
+    return 0 if result.equivalent else 1
+
+
+def _cmd_putontop(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    stacked = put_on_top(network, args.copies)
+    save_network(stacked, args.output)
+    print(
+        f"stacked {args.copies}x: {stacked.num_gates} gates, "
+        f"{len(stacked.pis)} PIs, {len(stacked.pos)} POs -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    network = build_benchmark(args.benchmark)
+    save_network(network, args.output)
+    print(f"{args.benchmark}: {network.num_gates} gates -> {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    save_network(network, args.output)
+    print(f"{args.input} -> {args.output} ({network.num_gates} gates)")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from repro.simulation import PatternBatch, batch_quality
+
+    network = load_network(args.input)
+    batch = PatternBatch.random_for(
+        network, args.patterns, _random.Random(args.seed)
+    )
+    quality = batch_quality(network, batch)
+    print(f"patterns          : {quality.patterns}")
+    print(f"toggle rate       : {quality.toggle_rate:.3f}")
+    print(f"signature classes : {quality.signature_classes}")
+    print(f"constant nodes    : {quality.constant_fraction:.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description="SimGen netlist utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="netlist summary")
+    p.add_argument("input")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("map", help="K-LUT mapping")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-k", type=int, default=6)
+    p.set_defaults(fn=_cmd_map)
+
+    p = sub.add_parser("strash", help="structural hashing")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_strash)
+
+    p = sub.add_parser("sweep", help="SimGen-accelerated SAT sweeping")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", help="write the reduced network here")
+    p.add_argument("--strategy", default="AI+DC+MFFC")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--patterns", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cec", help="combinational equivalence check")
+    p.add_argument("golden")
+    p.add_argument("revised")
+    p.add_argument("--strategy", default="AI+DC+MFFC")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_cec)
+
+    p = sub.add_parser("putontop", help="stack copies (&putontop)")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-n", "--copies", type=int, required=True)
+    p.set_defaults(fn=_cmd_putontop)
+
+    p = sub.add_parser("gen", help="emit a suite benchmark")
+    p.add_argument("benchmark", choices=benchmark_names())
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_gen)
+
+    p = sub.add_parser("convert", help="convert between netlist formats")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("sim", help="random simulation + quality metrics")
+    p.add_argument("input")
+    p.add_argument("--patterns", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sim)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

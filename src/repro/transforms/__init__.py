@@ -1,0 +1,21 @@
+"""Structural transforms: strash, rewrites, decomposition, putontop."""
+
+from repro.transforms.decompose import decompose_to_arity
+from repro.transforms.putontop import put_on_top
+from repro.transforms.rewrite import (
+    double_negate,
+    rewrite,
+    shannon_expand,
+    sop_resynthesize,
+)
+from repro.transforms.strash import strash
+
+__all__ = [
+    "decompose_to_arity",
+    "double_negate",
+    "put_on_top",
+    "rewrite",
+    "shannon_expand",
+    "sop_resynthesize",
+    "strash",
+]

@@ -1,0 +1,82 @@
+"""Decomposition of wide gates into bounded-arity networks.
+
+LUT mapping needs every gate's arity to be at most K (a gate is the unit a
+cut must absorb whole).  :func:`decompose_to_arity` rewrites any wider gate
+into an equivalent network of 2-input AND/OR gates and inverters via
+recursive Shannon expansion — the role ``strash``-to-AIG plays in ABC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.logic import gates
+from repro.logic.truthtable import TruthTable
+from repro.network.network import Network
+
+
+def decompose_to_arity(
+    network: Network, max_arity: int, name: Optional[str] = None
+) -> Network:
+    """A copy of the network with every gate arity <= ``max_arity``.
+
+    Gates already within the bound are copied unchanged; wider gates are
+    Shannon-expanded on their highest variable into 2-input logic.
+    """
+    if max_arity < 2:
+        raise NetworkError(f"max_arity must be >= 2, got {max_arity}")
+    result = Network(name or f"{network.name}_dec{max_arity}")
+    new_id: dict[int, int] = {}
+    for pi in network.pis:
+        new_id[pi] = result.add_pi(network.node(pi).name)
+
+    inverters: dict[int, int] = {}
+
+    def invert(driver: int) -> int:
+        if driver not in inverters:
+            inverters[driver] = result.add_gate(gates.inv(), (driver,))
+        return inverters[driver]
+
+    def synthesize(table: TruthTable, drivers: list[int]) -> int:
+        """Build <=2-input logic computing ``table`` over ``drivers``."""
+        const = table.const_value()
+        if const is not None:
+            return result.add_const(bool(const))
+        support = table.support()
+        if len(support) == 1:
+            var = support[0]
+            positive = table.cofactor(var, 1).const_value() == 1
+            return drivers[var] if positive else invert(drivers[var])
+        if len(support) <= 2 and table.num_vars <= 2:
+            return result.add_gate(table, tuple(drivers))
+        if table.num_vars <= 2:
+            return result.add_gate(table, tuple(drivers))
+        # Shannon on the highest support variable:
+        # f = (~x & f0) | (x & f1)
+        var = support[-1]
+        x = drivers[var]
+        low = synthesize(table.cofactor(var, 0), drivers)
+        high = synthesize(table.cofactor(var, 1), drivers)
+        if low == high:
+            return low
+        term0 = result.add_gate(gates.and_gate(2), (invert(x), low))
+        term1 = result.add_gate(gates.and_gate(2), (x, high))
+        return result.add_gate(gates.or_gate(2), (term0, term1))
+
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi:
+            continue
+        if node.is_const:
+            new_id[uid] = result.add_const(bool(node.table.bits), node.name)
+            continue
+        drivers = [new_id[f] for f in node.fanins]
+        if node.num_fanins <= max_arity:
+            new_id[uid] = result.add_gate(node.table, drivers, node.name)
+        else:
+            new_id[uid] = synthesize(node.table, drivers)
+    for po_name, uid in network.pos:
+        result.add_po(new_id[uid], po_name)
+    result.remove_dangling()
+    return result

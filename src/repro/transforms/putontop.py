@@ -1,0 +1,57 @@
+"""Stacking copies of a network (ABC's ``&putontop``, paper §6.4).
+
+To scale benchmark complexity, several copies of a network are stacked:
+the POs of copy *i* drive the PIs of copy *i+1*.  When a copy has more
+outputs than the next needs inputs, the spare outputs become POs of the
+stack; when it has fewer, fresh PIs are created — exactly the paper's
+description.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.network.network import Network
+
+
+def put_on_top(
+    network: Network, copies: int, name: Optional[str] = None
+) -> Network:
+    """Stack ``copies`` instances of ``network``; returns the tower.
+
+    ``copies=1`` returns a plain renumbered copy.
+    """
+    if copies < 1:
+        raise NetworkError(f"copies must be >= 1, got {copies}")
+    stacked = Network(name or f"{network.name}_x{copies}")
+
+    def instantiate(drivers: list[int], tag: int) -> list[int]:
+        """Copy the network once; returns its PO driver nodes in order."""
+        mapping: dict[int, int] = {}
+        for position, pi in enumerate(network.pis):
+            if position < len(drivers):
+                mapping[pi] = drivers[position]
+            else:
+                mapping[pi] = stacked.add_pi(f"c{tag}_{network.node(pi).label()}")
+        for uid in network.topological_order():
+            node = network.node(uid)
+            if node.is_pi:
+                continue
+            mapping[uid] = stacked.add_gate(
+                node.table, tuple(mapping[f] for f in node.fanins)
+            )
+        return [mapping[uid] for _, uid in network.pos]
+
+    outputs = instantiate([], 0)
+    for tag in range(1, copies):
+        consumed = min(len(outputs), len(network.pis))
+        spare = outputs[consumed:]
+        for j, uid in enumerate(spare):
+            stacked.add_po(uid, f"spare{tag}_{j}")
+        outputs = instantiate(outputs[:consumed], tag)
+    for (po_name, _), uid in zip(network.pos, outputs):
+        stacked.add_po(uid, f"top_{po_name}")
+    for j, uid in enumerate(outputs[len(network.pos):]):  # pragma: no cover
+        stacked.add_po(uid, f"top_extra{j}")
+    return stacked

@@ -1,0 +1,130 @@
+"""Function-preserving structural rewrites.
+
+CEC workloads consist of two implementations of the same function; the
+benchmark suite manufactures the second implementation by perturbing the
+first with rewrites that keep every PO function intact while changing the
+internal structure — so the swept union contains genuine cross-copy node
+equivalences (to prove) *and* plenty of internal near-misses (to disprove
+by simulation).  Three rewrite kinds are applied at random sites:
+
+* **Shannon expansion**: a gate ``f`` becomes ``MUX(f|x=0, f|x=1, x)`` on a
+  random fanin, duplicating its logic into two cofactor LUTs.
+* **Double negation**: an edge gets two inverters in series.
+* **SOP re-synthesis**: a gate is replaced by the two-level AND/OR network
+  of its ISOP cover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.logic import gates
+from repro.logic.cubes import isop
+
+from repro.network.network import Network
+
+
+def shannon_expand(network: Network, uid: int, var_index: int) -> None:
+    """Replace gate ``uid`` with a mux over cofactor gates (in place)."""
+    node = network.node(uid)
+    if not node.is_gate or node.is_const:
+        return
+    if not 0 <= var_index < node.num_fanins:
+        return
+    table = node.table
+    sel = node.fanins[var_index]
+    neg = network.add_gate(
+        table.cofactor(var_index, 0), node.fanins
+    )
+    pos = network.add_gate(
+        table.cofactor(var_index, 1), node.fanins
+    )
+    mux = network.add_gate(gates.mux(), (neg, pos, sel))
+    network.replace_node(uid, mux)
+
+
+def double_negate(network: Network, uid: int, fanin_position: int) -> None:
+    """Insert inv(inv(...)) on one fanin edge of ``uid`` (in place)."""
+    node = network.node(uid)
+    if not node.is_gate or fanin_position >= node.num_fanins:
+        return
+    driver = node.fanins[fanin_position]
+    first = network.add_gate(gates.inv(), (driver,))
+    second = network.add_gate(gates.inv(), (first,))
+    # Replace only this positional edge (replace_fanin redirects every
+    # occurrence of the driver, which is what we want for duplicate edges).
+    network.replace_fanin(uid, driver, second)
+
+
+def sop_resynthesize(network: Network, uid: int) -> None:
+    """Replace gate ``uid`` by the AND/OR network of its ISOP (in place)."""
+    node = network.node(uid)
+    if not node.is_gate or node.is_const or node.num_fanins == 0:
+        return
+    cubes = isop(node.table)
+    if not cubes:
+        const = network.add_const(False)
+        network.replace_node(uid, const)
+        return
+    inverters: dict[int, int] = {}
+
+    def inverted(driver: int) -> int:
+        if driver not in inverters:
+            inverters[driver] = network.add_gate(gates.inv(), (driver,))
+        return inverters[driver]
+
+    terms: list[int] = []
+    for cube in cubes:
+        literals: list[int] = []
+        for i, lit in enumerate(cube.literals()):
+            if lit is None:
+                continue
+            driver = node.fanins[i]
+            literals.append(driver if lit else inverted(driver))
+        if not literals:
+            terms.append(network.add_const(True))
+            continue
+        term = literals[0]
+        for extra in literals[1:]:
+            term = network.add_gate(gates.and_gate(2), (term, extra))
+        terms.append(term)
+    total = terms[0]
+    for extra in terms[1:]:
+        total = network.add_gate(gates.or_gate(2), (total, extra))
+    network.replace_node(uid, total)
+
+
+def rewrite(
+    network: Network,
+    seed: int = 0,
+    intensity: float = 0.3,
+    name: Optional[str] = None,
+) -> Network:
+    """A functionally equivalent, structurally perturbed copy.
+
+    Args:
+        intensity: Approximate fraction of gates receiving one rewrite.
+    """
+    rng = random.Random(seed)
+    copy, _ = network.map_clone(name or f"{network.name}_rw")
+    candidates = [
+        node.uid
+        for node in copy.nodes()
+        if node.is_gate and not node.is_const and node.num_fanins >= 1
+    ]
+    rng.shuffle(candidates)
+    count = max(1, int(len(candidates) * intensity))
+    for uid in candidates[:count]:
+        node = copy.node(uid)
+        if uid not in copy or not node.is_gate:
+            continue
+        choice = rng.random()
+        if choice < 0.4 and node.num_fanins >= 2:
+            shannon_expand(copy, uid, rng.randrange(node.num_fanins))
+        elif choice < 0.7:
+            double_negate(copy, uid, rng.randrange(max(1, node.num_fanins)))
+        else:
+            sop_resynthesize(copy, uid)
+    copy.remove_dangling()
+    return copy

@@ -1,0 +1,123 @@
+"""Structural hashing and constant/buffer cleanup.
+
+``strash`` rebuilds a network merging gates with identical (function,
+fanins) pairs, propagating constants, shrinking tables to their true
+support, and collapsing buffers — the light-weight normalization ABC
+applies implicitly.  Running it after rewrites keeps networks tidy without
+erasing the *functional* redundancies sweeping is supposed to find (merged
+nodes are bit-identical structure, which no simulation is needed to spot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.truthtable import TruthTable
+from repro.network.network import Network
+
+
+def _shrink_to_support(table: TruthTable) -> tuple[TruthTable, list[int]]:
+    """Drop don't-care inputs; returns (table, kept input positions)."""
+    support = table.support()
+    if len(support) == table.num_vars:
+        return table, support
+    if not support:
+        return TruthTable(0, table.bits & 1), []
+    bits = 0
+    for m in range(1 << len(support)):
+        src = 0
+        for j, var in enumerate(support):
+            if (m >> j) & 1:
+                src |= 1 << var
+        if (table.bits >> src) & 1:
+            bits |= 1 << m
+    return TruthTable(len(support), bits), support
+
+
+def _identify_duplicates(
+    table: TruthTable, fanins: list[int]
+) -> tuple[TruthTable, list[int]]:
+    """Merge truth-table variables whose drivers are the same node.
+
+    ``f(x, x)`` becomes a single-variable function of ``x`` (the diagonal of
+    the table), enabling OR(x, x) -> x style collapses downstream.
+    """
+    unique: list[int] = []
+    position: dict[int, int] = {}
+    for f in fanins:
+        if f not in position:
+            position[f] = len(unique)
+            unique.append(f)
+    if len(unique) == len(fanins):
+        return table, fanins
+    bits = 0
+    for m in range(1 << len(unique)):
+        src = 0
+        for i, f in enumerate(fanins):
+            if (m >> position[f]) & 1:
+                src |= 1 << i
+        if (table.bits >> src) & 1:
+            bits |= 1 << m
+    return TruthTable(len(unique), bits), unique
+
+
+def strash(network: Network, name: Optional[str] = None) -> Network:
+    """Structurally hashed copy of the network.
+
+    Gates with the same truth table and the same (order-sensitive) fanin
+    list are merged; constants propagate through tables; buffers collapse
+    onto their drivers.  PIs and PO names/positions are preserved.
+    """
+    result = Network(name or f"{network.name}_strash")
+    new_id: dict[int, int] = {}
+    hash_table: dict[tuple, int] = {}
+    const_cache: dict[bool, int] = {}
+
+    def get_const(value: bool) -> int:
+        if value not in const_cache:
+            const_cache[value] = result.add_const(value)
+        return const_cache[value]
+
+    for pi in network.pis:
+        new_id[pi] = result.add_pi(network.node(pi).name)
+
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi:
+            continue
+        if node.is_const:
+            new_id[uid] = get_const(bool(node.table.bits))
+            continue
+        table = node.table
+        fanins = [new_id[f] for f in node.fanins]
+        # Substitute constant fanins into the table.
+        const_positions = [
+            (i, result.node(f).table.bits & 1)
+            for i, f in enumerate(fanins)
+            if f in result and result.node(f).is_const
+        ]
+        for position, value in const_positions:
+            table = table.cofactor(position, value)
+        table, support = _shrink_to_support(table)
+        fanins = [fanins[i] for i in support]
+        table, fanins = _identify_duplicates(table, fanins)
+        table, support = _shrink_to_support(table)
+        fanins = [fanins[i] for i in support]
+        if table.num_vars == 0:
+            new_id[uid] = get_const(bool(table.bits))
+            continue
+        if table.num_vars == 1 and table.bits == 0b10:  # buffer
+            new_id[uid] = fanins[0]
+            continue
+        key = (table.num_vars, table.bits, tuple(fanins))
+        if key in hash_table:
+            new_id[uid] = hash_table[key]
+            continue
+        created = result.add_gate(table, fanins, node.name)
+        hash_table[key] = created
+        new_id[uid] = created
+
+    for po_name, uid in network.pos:
+        result.add_po(new_id[uid], po_name)
+    result.remove_dangling()
+    return result

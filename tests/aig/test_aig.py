@@ -1,0 +1,127 @@
+"""AIG construction, simplification rules, strashing, evaluation."""
+
+import pytest
+
+from repro.aig import FALSE, TRUE, Aig, lit_not
+from repro.errors import NetworkError
+
+
+class TestSimplification:
+    def test_and_with_false(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.and_(a, FALSE) == FALSE
+
+    def test_and_with_true(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.and_(a, TRUE) == a
+
+    def test_and_idempotent(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.and_(a, a) == a
+        assert aig.num_ands == 0
+
+    def test_and_with_complement_is_false(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.and_(a, lit_not(a)) == FALSE
+
+    def test_strash_shares_structure(self):
+        aig = Aig()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        g1 = aig.and_(a, b)
+        g2 = aig.and_(b, a)  # commuted: same node
+        assert g1 == g2
+        assert aig.num_ands == 1
+
+    def test_distinct_phases_distinct_nodes(self):
+        aig = Aig()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        g1 = aig.and_(a, b)
+        g2 = aig.and_(a, lit_not(b))
+        assert g1 != g2
+        assert aig.num_ands == 2
+
+
+class TestDerivedOperators:
+    def _brute(self, build, fn, arity):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(arity)]
+        out = build(aig, pis)
+        aig.add_po(out, "f")
+        for m in range(1 << arity):
+            values = {
+                aig.pis[i]: (m >> i) & 1 for i in range(arity)
+            }
+            got = aig.evaluate(values)["f"]
+            bits = [(m >> i) & 1 for i in range(arity)]
+            assert got == fn(bits), (m, bits)
+
+    def test_or(self):
+        self._brute(lambda g, p: g.or_(p[0], p[1]), lambda b: b[0] | b[1], 2)
+
+    def test_xor(self):
+        self._brute(lambda g, p: g.xor_(p[0], p[1]), lambda b: b[0] ^ b[1], 2)
+
+    def test_mux(self):
+        self._brute(
+            lambda g, p: g.mux_(p[0], p[1], p[2]),
+            lambda b: b[1] if b[2] else b[0],
+            3,
+        )
+
+    def test_and_many(self):
+        self._brute(
+            lambda g, p: g.and_many(p), lambda b: int(all(b)), 4
+        )
+
+    def test_or_many(self):
+        self._brute(lambda g, p: g.or_many(p), lambda b: int(any(b)), 4)
+
+    def test_empty_trees(self):
+        aig = Aig()
+        assert aig.and_many([]) == TRUE
+        assert aig.or_many([]) == FALSE
+
+
+class TestStructure:
+    def test_levels_and_depth(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        g1 = aig.and_(a, b)
+        g2 = aig.and_(g1, c)
+        aig.add_po(g2)
+        assert aig.depth() == 2
+
+    def test_bad_literal_rejected(self):
+        aig = Aig()
+        with pytest.raises(NetworkError):
+            aig.and_(2, 100)
+
+    def test_cleanup_drops_unreachable(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        used = aig.and_(a, b)
+        aig.and_(a, lit_not(b))  # dangling
+        aig.add_po(used, "f")
+        removed = aig.cleanup()
+        assert removed == 1
+        assert aig.num_ands == 1
+        # evaluation still correct after reindexing
+        values = {aig.pis[0]: 1, aig.pis[1]: 1}
+        assert aig.evaluate(values)["f"] == 1
+
+    def test_simulate_bit_parallel(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        g = aig.and_(a, lit_not(b))
+        aig.add_po(g, "f")
+        words = {aig.pis[0]: 0b1100, aig.pis[1]: 0b1010}
+        values = aig.simulate(words, 4)
+        from repro.aig import lit_node
+
+        assert values[lit_node(g)] == 0b0100

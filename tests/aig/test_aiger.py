@@ -1,0 +1,104 @@
+"""AIGER ASCII (.aag) I/O."""
+
+import pytest
+
+from repro.aig import Aig, lit_not, network_to_aig
+from repro.aig.aiger import aag_text, parse_aag
+from repro.errors import ParseError
+from tests.conftest import random_network
+
+SIMPLE = """\
+aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 a
+i1 b
+o0 f
+"""
+
+
+def aig_function(aig, num_inputs):
+    """Exhaustive PO values, pattern-indexed."""
+    outputs = {}
+    for m in range(1 << num_inputs):
+        values = {pi: (m >> i) & 1 for i, pi in enumerate(aig.pis)}
+        for name, value in aig.evaluate(values).items():
+            outputs.setdefault(name, []).append(value)
+    return outputs
+
+
+class TestParse:
+    def test_simple_and(self):
+        aig = parse_aag(SIMPLE)
+        assert len(aig.pis) == 2
+        assert aig.num_ands == 1
+        outputs = aig_function(aig, 2)
+        assert outputs["f"] == [0, 0, 0, 1]
+
+    def test_names_recovered(self):
+        aig = parse_aag(SIMPLE)
+        assert aig.node(aig.pis[0]).name == "a"
+        assert aig.pos[0][0] == "f"
+
+    def test_complemented_output(self):
+        text = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n"
+        aig = parse_aag(text)
+        outputs = aig_function(aig, 2)
+        assert outputs["po0"] == [1, 1, 1, 0]  # NAND
+
+    def test_constant_output(self):
+        text = "aag 1 1 0 1 0\n2\n1\n"
+        aig = parse_aag(text)
+        outputs = aig_function(aig, 1)
+        assert outputs["po0"] == [1, 1]
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            parse_aag("aig 1 1 0 1 0\n2\n2\n")
+
+    def test_latches_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aag("aag 2 1 1 0 0\n2\n4 2\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(ParseError):
+            parse_aag("aag 3 2 0 1 1\n2\n4\n")
+
+    def test_use_before_definition(self):
+        text = "aag 3 1 0 1 1\n2\n6\n6 4 2\n"
+        with pytest.raises(ParseError):
+            parse_aag(text)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_network_aig_aag_roundtrip(self, seed):
+        net = random_network(seed=seed, num_inputs=4, num_gates=12)
+        aig = network_to_aig(net)
+        parsed = parse_aag(aag_text(aig))
+        assert aig_function(aig, 4) == aig_function(parsed, 4)
+
+    def test_handmade_roundtrip(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        g = aig.xor_(a, lit_not(b))
+        aig.add_po(g, "xnor_out")
+        parsed = parse_aag(aag_text(aig))
+        assert parsed.pos[0][0] == "xnor_out"
+        assert aig_function(aig, 2) == aig_function(parsed, 2)
+
+    def test_header_counts_consistent(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.and_(aig.or_(a, b), c))
+        text = aag_text(aig)
+        header = text.splitlines()[0].split()
+        max_var, inputs, latches, outputs, ands = map(int, header[1:])
+        assert inputs == 3
+        assert latches == 0
+        assert outputs == 1
+        assert ands == aig.num_ands
+        assert max_var == inputs + ands

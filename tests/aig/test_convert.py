@@ -1,0 +1,98 @@
+"""Network <-> AIG conversions preserve functions."""
+
+import random
+
+import pytest
+
+from repro.aig import aig_to_network, network_to_aig
+from repro.network import validate
+from repro.simulation import Simulator, PatternBatch
+from tests.conftest import networks_equal, random_network
+
+
+def aig_equals_network(aig, network, width=128, seed=0):
+    """Compare an AIG against a network by positional PI simulation."""
+    rng = random.Random(seed)
+    batch = PatternBatch(network.pis, rng)
+    batch.add_random(width)
+    words = batch.words()
+    net_values = Simulator(network).run_batch(batch)
+    aig_words = {
+        aig_pi: words[net_pi] for aig_pi, net_pi in zip(aig.pis, network.pis)
+    }
+    aig_values = aig.simulate(aig_words, width)
+    from repro.aig import lit_node, lit_phase
+
+    mask = (1 << width) - 1
+    for (name_a, literal), (name_n, uid) in zip(aig.pos, network.pos):
+        value = aig_values[lit_node(literal)]
+        if lit_phase(literal):
+            value ^= mask
+        if value != net_values[uid]:
+            return False
+    return True
+
+
+class TestNetworkToAig:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_function_preserved(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=15)
+        aig = network_to_aig(net)
+        assert aig_equals_network(aig, net)
+
+    def test_constants_fold(self):
+        from repro.network import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a = builder.pi()
+        one = builder.const(True)
+        g = builder.and_(a, one)
+        builder.po(g, "f")
+        net = builder.build()
+        aig = network_to_aig(net)
+        # a & 1 simplifies to the PI literal: no AND nodes at all.
+        assert aig.num_ands == 0
+
+    def test_strash_collapses_duplicates(self):
+        from repro.network import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.and_(a, b)
+        g2 = builder.and_(a, b)
+        builder.po(builder.or_(g1, g2), "f")
+        net = builder.build()
+        aig = network_to_aig(net)
+        # duplicated ANDs share one node; or(x, x) = x
+        assert aig.num_ands == 1
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_function_preserved(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=15)
+        back = aig_to_network(network_to_aig(net))
+        validate(back)
+        assert networks_equal(net, back)
+
+    def test_roundtrip_of_mapped_benchmark(self):
+        from repro.benchgen import sweep_instance
+
+        net = sweep_instance("alu4")
+        back = aig_to_network(network_to_aig(net))
+        validate(back)
+        assert networks_equal(net, back)
+
+    def test_aig_network_sweepable(self):
+        """AIG-sourced networks run through the normal SimGen flow."""
+        from repro.core import make_generator
+        from repro.sweep import SweepConfig, SweepEngine
+
+        net = random_network(seed=9, num_inputs=5, num_gates=15)
+        as_aig_net = aig_to_network(network_to_aig(net))
+        generator = make_generator("AI+DC+MFFC", as_aig_net, seed=1)
+        engine = SweepEngine(
+            as_aig_net, generator, SweepConfig(seed=2, iterations=3)
+        )
+        result = engine.run()
+        assert result.classes.splittable() == []

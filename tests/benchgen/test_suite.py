@@ -1,0 +1,190 @@
+"""The 42-benchmark suite: integrity, determinism, sweep instances."""
+
+import pytest
+
+from repro.benchgen import (
+    BENCHMARKS,
+    FIG7_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    sweep_instance,
+)
+from repro.errors import ReproError
+from repro.network import validate
+from tests.conftest import networks_equal
+
+#: The names of Table 1/2's benchmarks, straight from the paper.
+PAPER_NAMES = {
+    "alu4", "apex1", "apex2", "apex3", "apex4", "apex5", "cordic", "cps",
+    "dalu", "des", "e64", "ex1010", "ex5p", "i10", "k2", "misex3",
+    "misex3c", "pdc", "seq", "spla", "table3", "table5", "sin", "square",
+    "arbiter", "dec", "m_ctrl", "priority", "voter", "log2",
+    "b14_C", "b14_C2", "b15_C", "b15_C2", "b17_C", "b17_C2",
+    "b20_C", "b20_C2", "b21_C", "b21_C2", "b22_C", "b22_C2",
+}
+
+
+class TestRegistry:
+    def test_exactly_42_benchmarks(self):
+        assert len(BENCHMARKS) == 42
+
+    def test_names_match_paper(self):
+        assert set(benchmark_names()) == PAPER_NAMES
+
+    def test_fig7_benchmarks_in_suite(self):
+        for name in FIG7_BENCHMARKS:
+            assert name in BENCHMARKS
+
+    def test_three_suites_represented(self):
+        suites = {spec.suite for spec in BENCHMARKS.values()}
+        assert suites == {"vtr", "epfl", "itc99"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            build_benchmark("nonexistent")
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(PAPER_NAMES))
+    def test_builds_and_validates(self, name):
+        net = build_benchmark(name)
+        validate(net)
+        assert net.num_gates > 0
+        assert len(net.pis) > 0
+        assert len(net.pos) > 0
+
+    def test_deterministic(self):
+        for name in ("apex2", "b14_C", "voter"):
+            a = build_benchmark(name)
+            b = build_benchmark(name)
+            assert a.num_gates == b.num_gates
+            assert networks_equal(a, b)
+
+    def test_c_and_c2_variants_differ(self):
+        a = build_benchmark("b14_C")
+        b = build_benchmark("b14_C2")
+        # same interface sizes, different logic (seeds differ)
+        assert len(a.pis) == len(b.pis)
+        assert not networks_equal(a, b)
+
+
+class TestSweepInstance:
+    @pytest.mark.parametrize("name", ["alu4", "apex2", "dec", "b14_C"])
+    def test_mapped_instance_valid_and_k_bounded(self, name):
+        inst = sweep_instance(name, k=6)
+        validate(inst)
+        for node in inst.gates():
+            assert node.num_fanins <= 6
+
+    def test_instance_function_matches_benchmark(self):
+        name = "priority"
+        base = build_benchmark(name)
+        inst = sweep_instance(name)
+        assert len(inst.pis) == len(base.pis)
+        assert networks_equal(base, inst)
+
+    def test_cec_copy_doubles_outputs(self):
+        plain = sweep_instance("alu4")
+        cec = sweep_instance("alu4", with_cec_copy=True)
+        assert len(cec.pos) == 2 * len(plain.pos)
+
+    def test_putontop_scaling(self):
+        single = sweep_instance("alu4", copies=1)
+        stacked = sweep_instance("alu4", copies=3)
+        assert stacked.num_gates > 2 * single.num_gates
+        validate(stacked)
+
+
+class TestFunctionalSpotChecks:
+    """Each generator family computes what its name promises."""
+
+    def test_alu_add_operation(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("alu4")
+        width = (len(net.pis) - 3) // 2
+        sim = Simulator(net)
+        po = dict(net.pos)
+        a_pis = net.pis[:width]
+        b_pis = net.pis[width : 2 * width]
+        op_pis = net.pis[2 * width :]
+        for x, y in [(3, 5), (7, 1), (0, 0), (2**width - 1, 1)]:
+            values = {a_pis[i]: (x >> i) & 1 for i in range(width)}
+            values.update({b_pis[i]: (y >> i) & 1 for i in range(width)})
+            values.update({op: 0 for op in op_pis})  # opcode 0 = add
+            out = sim.run_vector(values)
+            got = sum(out[po[f"r{i}"]] << i for i in range(width))
+            got |= out[po["cout"]] << width
+            assert got == x + y, (x, y)
+
+    def test_decoder_one_hot(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("dec")
+        sim = Simulator(net)
+        po = dict(net.pos)
+        bits = len(net.pis)
+        for code in (0, 1, (1 << bits) - 1, 5):
+            values = {net.pis[i]: (code >> i) & 1 for i in range(bits)}
+            out = sim.run_vector(values)
+            for j in range(1 << bits):
+                assert out[po[f"d{j}"]] == (1 if j == code else 0)
+
+    def test_priority_encoder_grants(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("priority")
+        sim = Simulator(net)
+        po = dict(net.pos)
+        width = sum(1 for n in po if n.startswith("g"))
+        for req_pattern in (0b1, 0b100, 0b110000, 0):
+            values = {
+                net.pis[i]: (req_pattern >> i) & 1 for i in range(width)
+            }
+            out = sim.run_vector(values)
+            expected_grant = None
+            for i in range(width):
+                if (req_pattern >> i) & 1:
+                    expected_grant = i
+                    break
+            for i in range(width):
+                assert out[po[f"g{i}"]] == (1 if i == expected_grant else 0)
+            assert out[po["valid"]] == (1 if req_pattern else 0)
+
+    def test_voter_majority(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("voter")
+        sim = Simulator(net)
+        po = dict(net.pos)
+        width = len(net.pis)
+        for ones in (0, width // 2, width // 2 + 1, width):
+            pattern = (1 << ones) - 1
+            values = {net.pis[i]: (pattern >> i) & 1 for i in range(width)}
+            out = sim.run_vector(values)
+            assert out[po["majority"]] == (1 if ones > width // 2 else 0)
+
+    def test_square_values(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("square")
+        sim = Simulator(net)
+        po = dict(net.pos)
+        width = len(net.pis)
+        for x in (0, 1, 5, (1 << width) - 1):
+            values = {net.pis[i]: (x >> i) & 1 for i in range(width)}
+            out = sim.run_vector(values)
+            got = sum(out[po[f"p{j}"]] << j for j in range(2 * width))
+            assert got == x * x, x
+
+    def test_parity_encoder_overall_bit(self):
+        from repro.simulation import Simulator
+
+        net = build_benchmark("e64")
+        sim = Simulator(net)
+        po = dict(net.pos)
+        width = len(net.pis)
+        for pattern in (0, 1, 0b1011, (1 << width) - 1):
+            values = {net.pis[i]: (pattern >> i) & 1 for i in range(width)}
+            out = sim.run_vector(values)
+            assert out[po["overall"]] == bin(pattern).count("1") % 2

@@ -1,0 +1,114 @@
+"""Revertible partial assignments (Algorithm 1's nodeVals)."""
+
+import pytest
+
+from repro.core.assignment import Assignment, Conflict
+from repro.errors import GenerationError
+
+
+class TestAssign:
+    def test_assign_and_value(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assert assignment.assign(ids["a"], 1) is True
+        assert assignment.value(ids["a"]) == 1
+        assert assignment.value(ids["b"]) is None
+
+    def test_reassign_same_value_not_fresh(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        assert assignment.assign(ids["a"], 1) is False
+
+    def test_conflict_raised(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        with pytest.raises(Conflict) as info:
+            assignment.assign(ids["a"], 0)
+        assert info.value.uid == ids["a"]
+        assert (info.value.have, info.value.want) == (1, 0)
+
+    def test_non_boolean_rejected(self, and_or_network):
+        net, ids = and_or_network
+        with pytest.raises(GenerationError):
+            Assignment(net).assign(ids["a"], 2)
+
+    def test_pins_of(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        assignment.assign(ids["inner"], 0)
+        inputs, output = assignment.pins_of(ids["inner"])
+        assert inputs == [1, None]
+        assert output == 0
+
+
+class TestCheckpointRevert:
+    def test_revert_removes_later_assignments(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        marker = assignment.checkpoint()
+        assignment.assign(ids["b"], 0)
+        assignment.assign(ids["c"], 1)
+        assignment.revert(marker)
+        assert assignment.value(ids["a"]) == 1
+        assert assignment.value(ids["b"]) is None
+        assert assignment.value(ids["c"]) is None
+        assert len(assignment) == 1
+
+    def test_revert_to_zero(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        assignment.revert(0)
+        assert len(assignment) == 0
+
+    def test_invalid_marker(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        with pytest.raises(GenerationError):
+            assignment.revert(5)
+
+    def test_reassignable_after_revert(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        marker = assignment.checkpoint()
+        assignment.assign(ids["a"], 1)
+        assignment.revert(marker)
+        assert assignment.assign(ids["a"], 0) is True
+
+
+class TestQueries:
+    def test_latest_updated(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        assignment.assign(ids["out"], 1)
+        assignment.assign(ids["b"], 0)
+        assert assignment.latest_updated([ids["a"], ids["out"]]) == ids["out"]
+        assert assignment.latest_updated([ids["c"]]) is None
+
+    def test_pis_set(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        cone = [ids["out"], ids["inner"], ids["a"], ids["b"], ids["c"]]
+        assert not assignment.pis_set(cone)
+        for pi in (ids["a"], ids["b"], ids["c"]):
+            assignment.assign(pi, 0)
+        assert assignment.pis_set(cone)
+
+    def test_pi_values_only_pis(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["a"], 1)
+        assignment.assign(ids["inner"], 1)
+        assert assignment.pi_values() == {ids["a"]: 1}
+
+    def test_trail_order(self, and_or_network):
+        net, ids = and_or_network
+        assignment = Assignment(net)
+        assignment.assign(ids["c"], 1)
+        assignment.assign(ids["a"], 0)
+        assert assignment.trail() == [ids["c"], ids["a"]]

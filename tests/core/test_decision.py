@@ -1,0 +1,165 @@
+"""Decision policies: Equations 1-4, roulette selection, completion rules."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.decision import (
+    DecisionEngine,
+    DecisionStrategy,
+    roulette_select,
+)
+from repro.logic import Row, rows_of
+from repro.logic.cubes import Cube
+from repro.network import NetworkBuilder
+
+
+class TestRouletteSelect:
+    def test_prefers_heavier_items(self):
+        rng = random.Random(0)
+        rows = [
+            Row(Cube.from_literals([0]), 0),
+            Row(Cube.from_literals([1]), 1),
+        ]
+        counts = Counter()
+        for _ in range(2000):
+            chosen = roulette_select(rng, rows, [1.0, 9.0])
+            counts[chosen.output] += 1
+        assert counts[1] > counts[0] * 3
+
+    def test_zero_weights_still_selectable(self):
+        rng = random.Random(1)
+        rows = [Row(Cube.from_literals([0]), 0), Row(Cube.from_literals([1]), 1)]
+        chosen = roulette_select(rng, rows, [0.0, 0.0])
+        assert chosen in rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roulette_select(random.Random(0), [], [])
+
+
+class TestDcMetric:
+    def test_dc_size_equation_1(self, and_or_network):
+        net, ids = and_or_network
+        engine = DecisionEngine(net, DecisionStrategy.DC)
+        row = Row(Cube.from_literals([0, None]), 0)
+        assert engine.dc_size(row) == 1
+
+    def test_dc_strategy_prefers_dc_rows(self, and_or_network):
+        """AND output 0: rows 0- and -0 beat any fully bound row."""
+        net, ids = and_or_network
+        counts = Counter()
+        for seed in range(300):
+            engine = DecisionEngine(
+                net, DecisionStrategy.DC, random.Random(seed)
+            )
+            assignment = Assignment(net)
+            assignment.assign(ids["inner"], 0)
+            result = engine.decide(assignment, ids["inner"])
+            assert result.row is not None
+            counts[result.row.dc_size()] += 1
+        # and-gate offset ISOP rows are 0- and -0 (1 DC each).
+        assert counts[1] == 300
+
+
+class TestMffcMetric:
+    def test_mffc_rank_equation_3(self, fig4_network):
+        net, ids = fig4_network
+        engine = DecisionEngine(net, DecisionStrategy.DC_MFFC)
+        # z = AND(x, y): row binding only x scores depth(x); binding only y
+        # scores depth(y) = 0 (y's MFFC is a singleton).
+        row_x = Row(Cube.from_literals([0, None]), 0)
+        row_y = Row(Cube.from_literals([None, 0]), 0)
+        assert engine.mffc_rank(ids["z"], row_x) > 0
+        assert engine.mffc_rank(ids["z"], row_y) == 0.0
+
+    def test_priority_equation_4_weights_dc_over_mffc(self, fig4_network):
+        net, ids = fig4_network
+        engine = DecisionEngine(net, DecisionStrategy.DC_MFFC)
+        sparse = Row(Cube.from_literals([0, None]), 0)  # 1 DC
+        dense = Row(Cube.from_literals([0, 0]), 0)  # 0 DC, more MFFC rank
+        assert engine.priority(ids["z"], sparse) > engine.priority(
+            ids["z"], dense
+        )
+
+    def test_mffc_prefers_binding_deep_cones(self, fig4_network):
+        """Fig. 4c: prefer the row binding x (deep MFFC) over binding y."""
+        net, ids = fig4_network
+        counts = Counter()
+        for seed in range(400):
+            engine = DecisionEngine(
+                net, DecisionStrategy.DC_MFFC, random.Random(seed)
+            )
+            assignment = Assignment(net)
+            assignment.assign(ids["z"], 0)
+            result = engine.decide(assignment, ids["z"])
+            lits = result.row.literals()
+            if lits[0] is not None and lits[1] is None:
+                counts["bind_x"] += 1
+            elif lits[1] is not None and lits[0] is None:
+                counts["bind_y"] += 1
+        # Both rows have 1 DC; the MFFC term must tilt selection toward x.
+        assert counts["bind_x"] > counts["bind_y"]
+
+
+class TestDecide:
+    def test_conflict_when_no_row_matches(self, and_or_network):
+        net, ids = and_or_network
+        engine = DecisionEngine(net)
+        assignment = Assignment(net)
+        assignment.assign(ids["inner"], 1)
+        assignment.assign(ids["a"], 0)
+        result = engine.decide(assignment, ids["inner"])
+        assert result.conflict
+
+    def test_noop_when_node_guaranteed(self, and_or_network):
+        """AND with one input 0 and output 0 needs no decision at all."""
+        net, ids = and_or_network
+        engine = DecisionEngine(net)
+        assignment = Assignment(net)
+        assignment.assign(ids["inner"], 0)
+        assignment.assign(ids["a"], 0)
+        result = engine.decide(assignment, ids["inner"])
+        assert not result.conflict
+        assert result.row is None
+        assert result.assigned == []
+        assert assignment.value(ids["b"]) is None
+
+    def test_decision_commits_row_values(self, and_or_network):
+        net, ids = and_or_network
+        engine = DecisionEngine(net, DecisionStrategy.RANDOM, random.Random(3))
+        assignment = Assignment(net)
+        assignment.assign(ids["out"], 1)
+        result = engine.decide(assignment, ids["out"])
+        assert not result.conflict
+        assert result.assigned  # something got bound
+        for uid, value in result.assigned:
+            assert assignment.value(uid) == value
+
+    def test_decide_on_pi_is_noop(self, and_or_network):
+        net, ids = and_or_network
+        engine = DecisionEngine(net)
+        assignment = Assignment(net)
+        result = engine.decide(assignment, ids["a"])
+        assert result.row is None and not result.conflict
+
+    def test_decision_respects_function(self, and_or_network):
+        """Any committed row must keep the node's relation satisfiable."""
+        net, ids = and_or_network
+        for seed in range(30):
+            engine = DecisionEngine(
+                net, DecisionStrategy.RANDOM, random.Random(seed)
+            )
+            assignment = Assignment(net)
+            assignment.assign(ids["inner"], 0)
+            result = engine.decide(assignment, ids["inner"])
+            if result.row is None:
+                continue
+            inputs, output = assignment.pins_of(ids["inner"])
+            matching = [
+                r for r in rows_of(net.node(ids["inner"]).table)
+                if r.matches(inputs, output)
+            ]
+            assert matching, "decision created a contradiction"

@@ -1,0 +1,70 @@
+"""Hybrid random->guided generator (paper §6.5)."""
+
+from repro.core import HybridGenerator, SimGenGenerator, classes_cost
+from tests.conftest import random_network
+
+
+def make_hybrid(net, patience=3):
+    guided = SimGenGenerator(net, seed=1)
+    return HybridGenerator(net, guided, seed=2, patience=patience)
+
+
+class TestClassesCost:
+    def test_equation_5(self):
+        assert classes_cost([[1, 2, 3], [4, 5], [6]]) == 3
+        assert classes_cost([]) == 0
+
+
+class TestSwitching:
+    def test_stays_random_while_cost_improves(self):
+        net = random_network(seed=0)
+        hybrid = make_hybrid(net)
+        # strictly decreasing costs: never switches
+        for size in (10, 9, 8, 7, 6, 5):
+            hybrid.generate([list(range(size + 1))])
+            assert not hybrid.switched
+
+    def test_switches_after_patience_stagnant_iterations(self):
+        net = random_network(seed=0)
+        hybrid = make_hybrid(net, patience=3)
+        cls = [list(range(6))]
+        hybrid.generate(cls)  # establishes baseline
+        assert not hybrid.switched
+        hybrid.generate(cls)  # stagnant 1
+        hybrid.generate(cls)  # stagnant 2
+        assert not hybrid.switched
+        hybrid.generate(cls)  # stagnant 3 -> switch
+        assert hybrid.switched
+
+    def test_plateau_reset_on_improvement(self):
+        net = random_network(seed=0)
+        hybrid = make_hybrid(net, patience=2)
+        hybrid.generate([list(range(8))])
+        hybrid.generate([list(range(8))])  # stagnant 1
+        hybrid.generate([list(range(7))])  # improvement resets
+        hybrid.generate([list(range(7))])  # stagnant 1
+        assert not hybrid.switched
+
+    def test_random_stage_emits_unconstrained_vectors(self):
+        net = random_network(seed=0)
+        hybrid = make_hybrid(net)
+        vectors = hybrid.generate([[1, 2]])
+        assert vectors
+        assert all(len(v.values) == 0 for v in vectors)
+
+    def test_guided_stage_used_after_switch(self):
+        net = random_network(seed=3)
+        gates = [uid for uid in net.node_ids() if net.node(uid).is_gate]
+        hybrid = make_hybrid(net, patience=1)
+        cls = [gates[:6]]
+        hybrid.generate(cls)
+        hybrid.generate(cls)  # switch
+        assert hybrid.switched
+        vectors = hybrid.generate(cls)
+        # guided vectors bind actual PI values
+        assert any(len(v.values) > 0 for v in vectors)
+
+    def test_name_reflects_stages(self):
+        net = random_network(seed=0)
+        hybrid = make_hybrid(net)
+        assert hybrid.name.startswith("hybrid[rand->")

@@ -1,0 +1,156 @@
+"""Exhaustive implication validation over all small gate functions.
+
+For every non-trivial function of 2 and a sample of 3 inputs, and every
+partial pin assignment, the implication engine's conclusions are compared
+against ground truth computed by enumerating the function's minterms:
+
+* a pin is truly forced iff every consistent completion agrees on it;
+* the engine must flag a contradiction iff no consistent completion exists.
+
+Simple implication is additionally checked to be weaker-or-equal to
+advanced (it may force fewer pins, never different ones).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.implication import ImplicationEngine, ImplicationStrategy
+from repro.logic.truthtable import TruthTable
+from repro.network.build import NetworkBuilder
+
+
+def consistent_completions(table, inputs, output):
+    """All (minterm, out) consistent with the partial pin assignment."""
+    result = []
+    for m in range(table.size):
+        if any(
+            inputs[i] is not None and inputs[i] != ((m >> i) & 1)
+            for i in range(table.num_vars)
+        ):
+            continue
+        out = table.output_for(m)
+        if output is not None and out != output:
+            continue
+        result.append((m, out))
+    return result
+
+
+def ground_truth_forced(table, inputs, output):
+    """(contradiction?, forced pin dict) by brute-force enumeration."""
+    completions = consistent_completions(table, inputs, output)
+    if not completions:
+        return True, {}
+    forced = {}
+    for i in range(table.num_vars):
+        if inputs[i] is not None:
+            continue
+        values = {(m >> i) & 1 for m, _ in completions}
+        if len(values) == 1:
+            forced[i] = values.pop()
+    if output is None:
+        outs = {out for _, out in completions}
+        if len(outs) == 1:
+            forced[table.num_vars] = outs.pop()
+    return False, forced
+
+
+def build_single_gate(table):
+    builder = NetworkBuilder()
+    pis = builder.pis(table.num_vars)
+    g = builder.table(table, pis)
+    builder.po(g)
+    return builder.build(), pis, g
+
+
+def apply_engine(net, pis, g, inputs, output, strategy):
+    assignment = Assignment(net)
+    seeds = []
+    for i, value in enumerate(inputs):
+        if value is not None:
+            assignment.assign(pis[i], value)
+            seeds.append(pis[i])
+    if output is not None:
+        assignment.assign(g, output)
+        seeds.append(g)
+    engine = ImplicationEngine(net, strategy)
+    outcome = engine.propagate(assignment, seeds or [g])
+    return assignment, outcome
+
+
+def all_partial_assignments(num_vars):
+    for inputs in itertools.product([None, 0, 1], repeat=num_vars):
+        for output in (None, 0, 1):
+            yield list(inputs), output
+
+
+@pytest.mark.parametrize("bits", range(1, 15))
+def test_all_two_input_functions(bits):
+    """Every non-constant 2-input function, every partial assignment."""
+    table = TruthTable(2, bits)
+    net, pis, g = build_single_gate(table)
+    for inputs, output in all_partial_assignments(2):
+        contradiction, forced = ground_truth_forced(table, inputs, output)
+        assignment, outcome = apply_engine(
+            net, pis, g, inputs, output, ImplicationStrategy.ADVANCED
+        )
+        if contradiction:
+            assert outcome.conflict, (bits, inputs, output)
+            continue
+        # No false conflicts.
+        assert not outcome.conflict, (bits, inputs, output)
+        # Everything truly forced must be found (single-gate completeness),
+        # and nothing else may be assigned.
+        for pin, value in forced.items():
+            uid = g if pin == 2 else pis[pin]
+            assert assignment.value(uid) == value, (bits, inputs, output, pin)
+        for i, pi in enumerate(pis):
+            if inputs[i] is None and i not in forced:
+                assert assignment.value(pi) is None, (bits, inputs, output, i)
+        if output is None and 2 not in forced:
+            assert assignment.value(g) is None, (bits, inputs, output)
+
+
+@pytest.mark.parametrize(
+    "bits", [0x80, 0xE8, 0x96, 0x17, 0x6A, 0xCA, 0x01, 0x7F]
+)
+def test_sample_three_input_functions(bits):
+    """Representative 3-input functions (and3, maj, xor3, mux, ...)."""
+    table = TruthTable(3, bits)
+    net, pis, g = build_single_gate(table)
+    for inputs, output in all_partial_assignments(3):
+        contradiction, forced = ground_truth_forced(table, inputs, output)
+        assignment, outcome = apply_engine(
+            net, pis, g, inputs, output, ImplicationStrategy.ADVANCED
+        )
+        if contradiction:
+            assert outcome.conflict, (inputs, output)
+            continue
+        assert not outcome.conflict, (inputs, output)
+        for pin, value in forced.items():
+            uid = g if pin == 3 else pis[pin]
+            assert assignment.value(uid) == value, (inputs, output, pin)
+
+
+@pytest.mark.parametrize("bits", range(1, 15))
+def test_simple_never_stronger_than_advanced(bits):
+    table = TruthTable(2, bits)
+    net, pis, g = build_single_gate(table)
+    for inputs, output in all_partial_assignments(2):
+        simple_asn, simple_out = apply_engine(
+            net, pis, g, inputs, output, ImplicationStrategy.SIMPLE
+        )
+        advanced_asn, advanced_out = apply_engine(
+            net, pis, g, inputs, output, ImplicationStrategy.ADVANCED
+        )
+        if simple_out.conflict:
+            # simple conflicts only on true contradictions; advanced must too
+            assert advanced_out.conflict
+            continue
+        if advanced_out.conflict:
+            continue  # advanced may detect more contradictions
+        for uid in (*pis, g):
+            simple_value = simple_asn.value(uid)
+            if simple_value is not None:
+                assert advanced_asn.value(uid) == simple_value

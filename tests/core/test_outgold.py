@@ -1,0 +1,68 @@
+"""OUTgold strategies (paper §3 step 1)."""
+
+import random
+
+from repro.core.outgold import (
+    alternating_outgold,
+    level_alternating_outgold,
+    random_outgold,
+    select_targets,
+)
+
+
+class TestAlternating:
+    def test_alternates_by_node_id(self, and_or_network):
+        net, ids = and_or_network
+        members = [ids["out"], ids["inner"], ids["a"]]
+        gold = alternating_outgold(net, members)
+        ordered = sorted(members)
+        assert [gold[uid] for uid in ordered] == [0, 1, 0]
+
+    def test_balanced_for_even_classes(self, and_or_network):
+        net, ids = and_or_network
+        gold = alternating_outgold(net, [ids["a"], ids["b"], ids["c"], ids["inner"]])
+        assert sorted(gold.values()) == [0, 0, 1, 1]
+
+
+class TestLevelAlternating:
+    def test_orders_by_level(self, and_or_network):
+        net, ids = and_or_network
+        gold = level_alternating_outgold(net, [ids["out"], ids["a"], ids["inner"]])
+        # level order: a (0), inner (1), out (2)
+        assert gold[ids["a"]] == 0
+        assert gold[ids["inner"]] == 1
+        assert gold[ids["out"]] == 0
+
+
+class TestRandomOutgold:
+    def test_balanced_and_deterministic(self, and_or_network):
+        net, ids = and_or_network
+        members = [ids["a"], ids["b"], ids["c"], ids["inner"]]
+        strat_a = random_outgold(seed=5)
+        strat_b = random_outgold(seed=5)
+        gold_a = strat_a(net, members)
+        gold_b = strat_b(net, members)
+        assert gold_a == gold_b
+        assert sorted(gold_a.values()) == [0, 0, 1, 1]
+
+
+class TestSelectTargets:
+    def test_no_cap_returns_sorted(self):
+        assert select_targets([5, 2, 9]) == [2, 5, 9]
+
+    def test_cap_samples_subset(self):
+        rng = random.Random(0)
+        targets = select_targets(range(100), max_targets=8, rng=rng)
+        assert len(targets) == 8
+        assert targets == sorted(targets)
+        assert all(0 <= t < 100 for t in targets)
+
+    def test_cap_below_two_clamped(self):
+        rng = random.Random(0)
+        targets = select_targets(range(10), max_targets=1, rng=rng)
+        assert len(targets) == 2
+
+    def test_different_rng_different_subsets(self):
+        a = select_targets(range(50), 5, random.Random(1))
+        b = select_targets(range(50), 5, random.Random(2))
+        assert a != b

@@ -1,0 +1,78 @@
+"""Strategy presets and the generator factory."""
+
+import pytest
+
+from repro.core import (
+    DecisionStrategy,
+    HybridGenerator,
+    ImplicationStrategy,
+    RandomGenerator,
+    ReverseSimGenerator,
+    SIMGEN,
+    STRATEGY_NAMES,
+    SimGenGenerator,
+    factory,
+    make_generator,
+)
+from repro.errors import GenerationError
+from tests.conftest import random_network
+
+
+class TestFactory:
+    def test_all_paper_strategies_constructible(self):
+        net = random_network(seed=0)
+        for name in STRATEGY_NAMES:
+            generator = make_generator(name, net, seed=1)
+            assert generator is not None
+
+    def test_rands(self):
+        net = random_network(seed=0)
+        generator = make_generator("RandS", net)
+        assert isinstance(generator, RandomGenerator)
+
+    def test_revs(self):
+        net = random_network(seed=0)
+        generator = make_generator("revs", net)
+        assert isinstance(generator, ReverseSimGenerator)
+        assert generator.max_targets == 2  # classic pair targeting
+
+    def test_simgen_alias(self):
+        net = random_network(seed=0)
+        generator = make_generator("SimGen", net)
+        assert isinstance(generator, SimGenGenerator)
+        assert generator.implication.strategy is ImplicationStrategy.ADVANCED
+        assert generator.decision.strategy is DecisionStrategy.DC_MFFC
+
+    def test_configuration_mapping(self):
+        net = random_network(seed=0)
+        si_rd = make_generator("SI+RD", net)
+        assert si_rd.implication.strategy is ImplicationStrategy.SIMPLE
+        assert si_rd.decision.strategy is DecisionStrategy.RANDOM
+        ai_dc = make_generator("AI+DC", net)
+        assert ai_dc.implication.strategy is ImplicationStrategy.ADVANCED
+        assert ai_dc.decision.strategy is DecisionStrategy.DC
+
+    def test_case_insensitive(self):
+        net = random_network(seed=0)
+        assert isinstance(make_generator("ai+dc+mffc", net), SimGenGenerator)
+
+    def test_unknown_rejected(self):
+        net = random_network(seed=0)
+        with pytest.raises(GenerationError):
+            make_generator("bogus", net)
+
+    def test_factory_closure(self):
+        net = random_network(seed=0)
+        build = factory("AI+DC", max_targets=4)
+        generator = build(net, 7)
+        assert isinstance(generator, SimGenGenerator)
+        assert generator.max_targets == 4
+
+    def test_revs_clamps_to_pair_targeting(self):
+        net = random_network(seed=0)
+        generator = make_generator("RevS", net, max_targets=16)
+        assert generator.max_targets == 2
+
+    def test_simgen_constant_is_full_method(self):
+        assert SIMGEN == "AI+DC+MFFC"
+        assert SIMGEN in STRATEGY_NAMES

@@ -1,0 +1,43 @@
+"""Experiment configuration integrity."""
+
+from repro.benchgen import benchmark_names
+from repro.experiments.config import (
+    ExperimentConfig,
+    QUICK_BENCHMARKS,
+    SCALED_BENCHMARKS,
+)
+
+
+class TestDefaults:
+    def test_default_covers_all_42(self):
+        config = ExperimentConfig()
+        assert list(config.benchmarks) == benchmark_names()
+
+    def test_paper_parameters(self):
+        config = ExperimentConfig()
+        assert config.k == 6  # "if -K 6"
+        assert config.random_rounds == 1  # one round of random simulation
+        assert config.iterations == 20  # SimGen runs for 20 iterations
+
+    def test_quick_subset_valid(self):
+        names = set(benchmark_names())
+        assert set(QUICK_BENCHMARKS) <= names
+        assert len(QUICK_BENCHMARKS) >= 8
+
+    def test_scaled_workload_valid(self):
+        names = set(benchmark_names())
+        for benchmark, copies in SCALED_BENCHMARKS:
+            assert benchmark in names
+            assert copies >= 2
+
+    def test_scaled_matches_paper_benchmark_set(self):
+        # The paper's Table 2 lower half uses these nine circuits.
+        paper_set = {
+            "alu4", "square", "arbiter", "b15_C2", "b17_C",
+            "b17_C2", "b20_C2", "b21_C2", "b22_C",
+        }
+        assert {name for name, _ in SCALED_BENCHMARKS} == paper_set
+
+    def test_quick_constructor(self):
+        config = ExperimentConfig.quick()
+        assert config.benchmarks == QUICK_BENCHMARKS

@@ -1,0 +1,51 @@
+"""Aggregation helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    geomean,
+    mean,
+    normalized_difference,
+    safe_ratio,
+)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+
+class TestGeomean:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestSafeRatio:
+    def test_plain(self):
+        assert safe_ratio(3.0, 2.0) == 1.5
+
+    def test_both_zero(self):
+        assert safe_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_baseline(self):
+        assert safe_ratio(4.0, 0.0) == 5.0  # (4+1)/1
+
+
+class TestNormalizedDifference:
+    def test_improvement_negative(self):
+        assert normalized_difference(80, 100) == pytest.approx(-0.2)
+
+    def test_equal_is_zero(self):
+        assert normalized_difference(7, 7) == pytest.approx(0.0)

@@ -1,0 +1,63 @@
+"""Plain-text table/figure rendering."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_bar,
+    format_iteration_trace,
+    format_series_chart,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_widths_fit_content(self):
+        text = format_table(["x"], [["wide-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(row) >= len("wide-cell-content")
+
+
+class TestFormatBar:
+    def test_negative_draws_left(self):
+        bar = format_bar(-0.5, scale=1.0, width=20)
+        left, right = bar[1:-1].split("|")
+        assert "#" in left and "#" not in right
+
+    def test_positive_draws_right(self):
+        bar = format_bar(0.5, scale=1.0, width=20)
+        left, right = bar[1:-1].split("|")
+        assert "#" in right and "#" not in left
+
+    def test_clamped_to_full_width(self):
+        bar = format_bar(-5.0, scale=1.0, width=20)
+        left, _ = bar[1:-1].split("|")
+        assert left == "#" * 10
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar(0.1, scale=0)
+
+
+class TestCharts:
+    def test_series_chart_structure(self):
+        text = format_series_chart(
+            "title", ["bm1"], {"cost": [-0.2], "sat": [0.1]}
+        )
+        assert "title" in text
+        assert "bm1:" in text
+        assert "-20.0%" in text
+        assert "+10.0%" in text
+
+    def test_iteration_trace(self):
+        text = format_iteration_trace("t", {"RandS": [10, 8, 8]})
+        assert "RandS" in text
+        assert "10" in text

@@ -1,0 +1,77 @@
+"""JSON serialization of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    run_fig5,
+    run_fig7,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.serialize import dump_results, to_dict
+
+TINY = ExperimentConfig(
+    benchmarks=("alu4",), iterations=3, vectors_per_iteration=2
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+class TestToDict:
+    def test_table1(self, runner):
+        payload = to_dict(run_table1(TINY, runner))
+        assert payload["kind"] == "table1"
+        assert "AI+DC+MFFC" in payload["avg_cost"]
+        assert payload["runs"]
+
+    def test_table2(self, runner):
+        payload = to_dict(run_table2(TINY, runner))
+        assert payload["kind"] == "table2"
+        assert payload["rows"][0]["benchmark"] == "alu4"
+        assert "sat_calls" in payload["rows"][0]["revs"]
+
+    def test_fig5(self, runner):
+        payload = to_dict(run_fig5(TINY, runner))
+        assert payload["kind"] == "figure5"
+        assert payload["points"][0]["pareto"] in (
+            "dominates",
+            "trade-off",
+            "dominated",
+        )
+
+    def test_fig7(self, runner):
+        payload = to_dict(
+            run_fig7(TINY, runner, benchmarks=("alu4",), iterations=3)
+        )
+        assert payload["kind"] == "fig7"
+        assert "alu4" in payload["traces"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_dict(object())
+
+
+class TestDump:
+    def test_dump_roundtrips_through_json(self, runner, tmp_path):
+        path = tmp_path / "results.json"
+        dump_results([run_table2(TINY, runner)], str(path))
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded[0]["kind"] == "table2"
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "out.json"
+        code = main(
+            ["table2", "--benchmarks", "alu4", "--json", str(path)]
+        )
+        assert code == 0
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded[0]["kind"] == "table2"

@@ -1,0 +1,97 @@
+""".bench parsing and writing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.bench import bench_text, parse_bench
+from repro.simulation import cone_function
+from tests.conftest import networks_equal, random_network
+
+SIMPLE = """\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+t = AND(a, b)
+f = OR(t, c)
+"""
+
+
+class TestParse:
+    def test_structure(self):
+        net = parse_bench(SIMPLE)
+        assert len(net.pis) == 3
+        assert [name for name, _ in net.pos] == ["f"]
+        assert net.num_gates == 2
+
+    def test_function(self):
+        net = parse_bench(SIMPLE)
+        table, _ = cone_function(net, net.pos[0][1])
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            assert table.output_for(m) == ((a & b) | c)
+
+    @pytest.mark.parametrize(
+        "kind,fn",
+        [
+            ("NAND", lambda a, b: 1 - (a & b)),
+            ("NOR", lambda a, b: 1 - (a | b)),
+            ("XOR", lambda a, b: a ^ b),
+            ("XNOR", lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_gate_kinds(self, kind, fn):
+        text = f"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = {kind}(a, b)\n"
+        net = parse_bench(text)
+        table, _ = cone_function(net, net.pos[0][1])
+        for m in range(4):
+            assert table.output_for(m) == fn(m & 1, (m >> 1) & 1)
+
+    def test_not_and_buf(self):
+        text = "INPUT(a)\nOUTPUT(f)\nOUTPUT(g)\nf = NOT(a)\ng = BUF(a)\n"
+        net = parse_bench(text)
+        t_f, _ = cone_function(net, net.pos[0][1])
+        t_g, _ = cone_function(net, net.pos[1][1])
+        assert t_f.bits == 0b01
+        assert t_g.bits == 0b10
+
+    def test_lut_form(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = LUT 0x8 (a, b)\n"
+        net = parse_bench(text)
+        table, _ = cone_function(net, net.pos[0][1])
+        assert table.bits == 0x8  # AND
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(f)\nf = NOT(a)  # inverter\n"
+        net = parse_bench(text)
+        assert net.num_gates == 1
+
+    def test_undefined_signal(self):
+        with pytest.raises(ParseError):
+            parse_bench("OUTPUT(f)\nf = AND(a, b)\n")
+
+    def test_cycle(self):
+        text = "INPUT(a)\nOUTPUT(f)\nf = AND(g, a)\ng = NOT(f)\n"
+        with pytest.raises(ParseError):
+            parse_bench(text)
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = FLUX(a)\n")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_network_roundtrip(self, seed):
+        net = random_network(seed=seed)
+        parsed = parse_bench(bench_text(net))
+        assert len(parsed.pis) == len(net.pis)
+        assert networks_equal(net, parsed)
+
+    def test_mapped_network_roundtrip(self):
+        from repro.benchgen import build_benchmark
+        from repro.mapping import map_to_luts
+
+        net, _ = map_to_luts(build_benchmark("alu4"))
+        parsed = parse_bench(bench_text(net))
+        assert networks_equal(net, parsed)

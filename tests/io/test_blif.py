@@ -1,0 +1,119 @@
+"""BLIF parsing and writing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.blif import blif_text, parse_blif
+from repro.simulation import Simulator, cone_function
+from tests.conftest import networks_equal, random_network
+
+SIMPLE = """\
+.model simple
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+"""
+
+
+class TestParse:
+    def test_simple_structure(self):
+        net = parse_blif(SIMPLE)
+        assert net.name == "simple"
+        assert len(net.pis) == 3
+        assert [name for name, _ in net.pos] == ["f"]
+        assert net.num_gates == 2
+
+    def test_simple_function(self):
+        net = parse_blif(SIMPLE)
+        f = net.pos[0][1]
+        table, support = cone_function(net, f)
+        # f = (a & b) | c
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            assert table.output_for(m) == ((a & b) | c)
+
+    def test_offset_polarity(self):
+        text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+        net = parse_blif(text)
+        table, _ = cone_function(net, net.pos[0][1])
+        # f = NAND(a, b)
+        assert table.output_for(0b11) == 0
+        assert table.output_for(0b01) == 1
+
+    def test_constants(self):
+        text = ".model t\n.inputs a\n.outputs f g\n.names f\n1\n.names g\n.names a d\n1 1\n.end\n"
+        net = parse_blif(text)
+        values = Simulator(net).run_vector({net.pis[0]: 0})
+        outs = {name: values[uid] for name, uid in net.pos}
+        assert outs == {"f": 1, "g": 0}
+
+    def test_dont_care_rows(self):
+        text = ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n1-- 1\n-11 1\n.end\n"
+        net = parse_blif(text)
+        table, _ = cone_function(net, net.pos[0][1])
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            assert table.output_for(m) == (a | (b & c))
+
+    def test_line_continuation(self):
+        text = ".model t\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert len(net.pis) == 2
+
+    def test_comments_stripped(self):
+        text = "# hello\n.model t\n.inputs a # trailing\n.outputs f\n.names a f\n1 1\n.end\n"
+        net = parse_blif(text)
+        assert len(net.pis) == 1
+
+    def test_undefined_signal(self):
+        text = ".model t\n.inputs a\n.outputs f\n.end\n"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_mixed_polarities_rejected(self):
+        text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_bad_cover_width(self):
+        text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_latch_unsupported(self):
+        text = ".model t\n.inputs a\n.outputs f\n.latch a f 0\n.end\n"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_cycle_detected(self):
+        text = ".model t\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n"
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_network_roundtrip(self, seed):
+        net = random_network(seed=seed)
+        text = blif_text(net)
+        parsed = parse_blif(text)
+        assert len(parsed.pis) == len(net.pis)
+        assert len(parsed.pos) == len(net.pos)
+        assert networks_equal(net, parsed)
+
+    def test_roundtrip_with_constants(self):
+        from repro.network import NetworkBuilder
+
+        builder = NetworkBuilder("constnet")
+        a = builder.pi("a")
+        one = builder.const(True)
+        g = builder.and_(a, one)
+        builder.po(g, "f")
+        net = builder.build()
+        parsed = parse_blif(blif_text(net))
+        assert networks_equal(net, parsed)

@@ -1,0 +1,53 @@
+"""Property-based netlist roundtrips over randomly shaped networks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import aig_to_network, network_to_aig
+from repro.aig.aiger import aag_text, parse_aag
+from repro.io import bench_text, blif_text, parse_bench, parse_blif
+from tests.conftest import networks_equal, random_network
+
+network_params = st.tuples(
+    st.integers(0, 200),  # seed
+    st.integers(2, 6),    # inputs
+    st.integers(3, 20),   # gates
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(network_params)
+def test_blif_roundtrip(params):
+    seed, inputs, gates = params
+    net = random_network(seed=seed, num_inputs=inputs, num_gates=gates)
+    parsed = parse_blif(blif_text(net))
+    assert networks_equal(net, parsed, width=64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(network_params)
+def test_bench_roundtrip(params):
+    seed, inputs, gates = params
+    net = random_network(seed=seed, num_inputs=inputs, num_gates=gates)
+    parsed = parse_bench(bench_text(net))
+    assert networks_equal(net, parsed, width=64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(network_params)
+def test_aig_conversion_roundtrip(params):
+    seed, inputs, gates = params
+    net = random_network(seed=seed, num_inputs=inputs, num_gates=gates)
+    back = aig_to_network(network_to_aig(net))
+    assert networks_equal(net, back, width=64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(network_params)
+def test_aag_roundtrip_through_network(params):
+    seed, inputs, gates = params
+    net = random_network(seed=seed, num_inputs=inputs, num_gates=gates)
+    aig = network_to_aig(net)
+    parsed = parse_aag(aag_text(aig))
+    back = aig_to_network(parsed)
+    assert networks_equal(net, back, width=64)

@@ -1,0 +1,72 @@
+"""Gate-library semantics."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import gates
+from repro.logic.truthtable import TruthTable
+
+
+def brute(table: TruthTable, fn):
+    for m in range(table.size):
+        bits = [(m >> i) & 1 for i in range(table.num_vars)]
+        assert table.output_for(m) == fn(bits), (m, bits)
+
+
+class TestFixedGates:
+    def test_buf(self):
+        brute(gates.buf(), lambda b: b[0])
+
+    def test_inv(self):
+        brute(gates.inv(), lambda b: 1 - b[0])
+
+    def test_mux_selects(self):
+        brute(gates.mux(), lambda b: b[1] if b[2] else b[0])
+
+    def test_majority(self):
+        brute(gates.majority(), lambda b: 1 if sum(b) >= 2 else 0)
+
+
+class TestVariadicGates:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 5])
+    def test_and(self, arity):
+        brute(gates.and_gate(arity), lambda b: int(all(b)))
+
+    @pytest.mark.parametrize("arity", [1, 2, 4])
+    def test_or(self, arity):
+        brute(gates.or_gate(arity), lambda b: int(any(b)))
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_nand(self, arity):
+        brute(gates.nand_gate(arity), lambda b: 1 - int(all(b)))
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_nor(self, arity):
+        brute(gates.nor_gate(arity), lambda b: 1 - int(any(b)))
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_xor_parity(self, arity):
+        brute(gates.xor_gate(arity), lambda b: sum(b) % 2)
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_xnor(self, arity):
+        brute(gates.xnor_gate(arity), lambda b: 1 - sum(b) % 2)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(LogicError):
+            gates.and_gate(0)
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert gates.gate("AND", 3) == gates.and_gate(3)
+        assert gates.gate("not") == gates.inv()
+        assert gates.gate("const1") == TruthTable.const(0, True)
+        assert gates.gate("gnd") == TruthTable.const(0, False)
+
+    def test_default_arity_two(self):
+        assert gates.gate("xor") == gates.xor_gate(2)
+
+    def test_unknown_gate(self):
+        with pytest.raises(LogicError):
+            gates.gate("frobnicate")

@@ -1,0 +1,155 @@
+"""Builder word-level blocks checked against integer arithmetic."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import NetworkBuilder
+from repro.simulation import Simulator
+
+
+def evaluate_word(net, sim_values, bits):
+    return sum(sim_values[uid] << i for i, uid in enumerate(bits))
+
+
+def run(net, assignments):
+    return Simulator(net).run_vector(assignments)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_ripple_adder_exhaustive(self, width):
+        builder = NetworkBuilder()
+        a = builder.pis(width, "a")
+        b = builder.pis(width, "b")
+        sums, carry = builder.ripple_adder(a, b)
+        for bit in sums:
+            builder.po(bit)
+        builder.po(carry)
+        net = builder.build()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                values = {a[i]: (x >> i) & 1 for i in range(width)}
+                values.update({b[i]: (y >> i) & 1 for i in range(width)})
+                out = run(net, values)
+                total = evaluate_word(net, out, sums) + (out[carry] << width)
+                assert total == x + y
+
+    def test_width_mismatch_rejected(self):
+        builder = NetworkBuilder()
+        with pytest.raises(NetworkError):
+            builder.ripple_adder(builder.pis(2), builder.pis(3))
+
+    def test_subtractor(self):
+        width = 3
+        builder = NetworkBuilder()
+        a = builder.pis(width, "a")
+        b = builder.pis(width, "b")
+        diff, _ = builder.subtractor(a, b)
+        for bit in diff:
+            builder.po(bit)
+        net = builder.build()
+        for x in range(8):
+            for y in range(8):
+                values = {a[i]: (x >> i) & 1 for i in range(width)}
+                values.update({b[i]: (y >> i) & 1 for i in range(width)})
+                out = run(net, values)
+                assert evaluate_word(net, out, diff) == (x - y) % 8
+
+
+class TestMultiplier:
+    def test_multiplier_exhaustive_3x3(self):
+        builder = NetworkBuilder()
+        a = builder.pis(3, "a")
+        b = builder.pis(3, "b")
+        product = builder.multiplier(a, b)
+        for bit in product:
+            builder.po(bit)
+        net = builder.build()
+        for x in range(8):
+            for y in range(8):
+                values = {a[i]: (x >> i) & 1 for i in range(3)}
+                values.update({b[i]: (y >> i) & 1 for i in range(3)})
+                out = run(net, values)
+                assert evaluate_word(net, out, product) == x * y
+
+
+class TestComparators:
+    def test_equal_const(self):
+        builder = NetworkBuilder()
+        word = builder.pis(4)
+        eq = builder.equal_const(word, 0b1010)
+        builder.po(eq)
+        net = builder.build()
+        for x in range(16):
+            values = {word[i]: (x >> i) & 1 for i in range(4)}
+            assert run(net, values)[eq] == (1 if x == 0b1010 else 0)
+
+    def test_less_than_exhaustive(self):
+        builder = NetworkBuilder()
+        a = builder.pis(3, "a")
+        b = builder.pis(3, "b")
+        lt = builder.less_than(a, b)
+        builder.po(lt)
+        net = builder.build()
+        for x in range(8):
+            for y in range(8):
+                values = {a[i]: (x >> i) & 1 for i in range(3)}
+                values.update({b[i]: (y >> i) & 1 for i in range(3)})
+                assert run(net, values)[lt] == (1 if x < y else 0)
+
+
+class TestReduceTree:
+    def test_and_tree(self):
+        builder = NetworkBuilder()
+        xs = builder.pis(5)
+        root = builder.reduce_tree("and", xs)
+        builder.po(root)
+        net = builder.build()
+        for m in range(32):
+            values = {xs[i]: (m >> i) & 1 for i in range(5)}
+            assert run(net, values)[root] == (1 if m == 31 else 0)
+
+    def test_xor_tree_parity(self):
+        builder = NetworkBuilder()
+        xs = builder.pis(6)
+        root = builder.reduce_tree("xor", xs)
+        builder.po(root)
+        net = builder.build()
+        for m in range(64):
+            values = {xs[i]: (m >> i) & 1 for i in range(6)}
+            assert run(net, values)[root] == bin(m).count("1") % 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetworkError):
+            NetworkBuilder().reduce_tree("and", [])
+
+    def test_single_operand_passthrough(self):
+        builder = NetworkBuilder()
+        x = builder.pi()
+        assert builder.reduce_tree("or", [x]) == x
+
+
+class TestMisc:
+    def test_mux_semantics(self):
+        builder = NetworkBuilder()
+        d0, d1, sel = builder.pis(3)
+        m = builder.mux_(d0, d1, sel)
+        builder.po(m)
+        net = builder.build()
+        for bits in range(8):
+            values = {d0: bits & 1, d1: (bits >> 1) & 1, sel: (bits >> 2) & 1}
+            expect = values[d1] if values[sel] else values[d0]
+            assert run(net, values)[m] == expect
+
+    def test_half_adder(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        s, c = builder.half_adder(a, b)
+        builder.po(s)
+        builder.po(c)
+        net = builder.build()
+        for x in range(2):
+            for y in range(2):
+                out = run(net, {a: x, b: y})
+                assert out[s] == (x ^ y)
+                assert out[c] == (x & y)

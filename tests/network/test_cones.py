@@ -1,0 +1,121 @@
+"""Cones, FFC checks, MFFC extraction and depth (Equations 2)."""
+
+import pytest
+
+from repro.network import (
+    MffcCache,
+    NetworkBuilder,
+    fanin_cone,
+    fanout_cone,
+    ffc_check,
+    mffc,
+    mffc_depth,
+    mffc_leaves,
+)
+
+
+class TestBasicCones:
+    def test_fanin_cone(self, and_or_network):
+        net, ids = and_or_network
+        cone = fanin_cone(net, ids["out"])
+        assert cone == {ids["a"], ids["b"], ids["c"], ids["inner"], ids["out"]}
+
+    def test_fanin_cone_excluding_root(self, and_or_network):
+        net, ids = and_or_network
+        cone = fanin_cone(net, ids["out"], include_root=False)
+        assert ids["out"] not in cone
+
+    def test_fanout_cone(self, and_or_network):
+        net, ids = and_or_network
+        cone = fanout_cone(net, ids["a"])
+        assert cone == {ids["a"], ids["inner"], ids["out"]}
+
+
+class TestMffc:
+    def test_pi_mffc_is_singleton(self, and_or_network):
+        net, ids = and_or_network
+        assert mffc(net, ids["a"]) == {ids["a"]}
+
+    def test_single_fanout_chain_fully_contained(self, and_or_network):
+        net, ids = and_or_network
+        cone = mffc(net, ids["out"])
+        # inner feeds only out, so it belongs to out's MFFC.
+        assert cone == {ids["inner"], ids["out"]}
+
+    def test_shared_node_excluded(self, fig4_network):
+        net, ids = fig4_network
+        cone = mffc(net, ids["z"])
+        assert ids["y"] not in cone  # y also feeds t
+        assert ids["x"] in cone
+        assert ids["m"] in cone and ids["n"] in cone
+
+    def test_mffc_is_a_fanout_free_cone(self, fig4_network):
+        net, ids = fig4_network
+        for name in ("z", "t", "x", "n"):
+            cone = mffc(net, ids[name])
+            assert ffc_check(net, ids[name], cone), name
+
+    def test_mffc_maximality(self, fig4_network):
+        """No fanin of the MFFC could be added while staying fanout-free."""
+        net, ids = fig4_network
+        root = ids["z"]
+        cone = mffc(net, root)
+        border = {
+            f
+            for uid in cone
+            for f in net.node(uid).fanins
+            if f not in cone and not net.node(f).is_pi
+        }
+        for candidate in border:
+            assert not ffc_check(net, root, cone | {candidate}), candidate
+
+
+class TestMffcDepth:
+    def test_paper_figure_4c_depths(self):
+        """Reconstruct Fig. 4c: left MFFC depth 0, right MFFC depth 1."""
+        builder = NetworkBuilder()
+        pis = builder.pis(6)
+        # Right cone: m (level 1), n (level 2), y (level 3) with leaves at
+        # levels 1, 2, 3 under an output at level 3... we mirror the paper's
+        # numbers instead: leaves m, n, y at levels 1, 2, 3, output level 3.
+        m = builder.and_(pis[0], pis[1])          # level 1
+        n = builder.and_(m, pis[2])               # level 2
+        y = builder.and_(n, pis[3])               # level 3
+        x = builder.and_(builder.and_(builder.and_(pis[4], pis[5]), pis[4]), pis[5])
+        z = builder.and_(x, y)
+        builder.po(z, "E")
+        net = builder.build()
+        # x's MFFC contains its whole chain; y's contains m, n, y.
+        y_cone = mffc(net, y)
+        assert y_cone == {m, n, y}
+        leaves = mffc_leaves(net, y_cone)
+        assert leaves == [m]
+        assert mffc_depth(net, y) == net.level(y) - net.level(m)
+
+    def test_singleton_depth_zero(self, fig4_network):
+        net, ids = fig4_network
+        assert mffc_depth(net, ids["y"]) == 0.0
+
+    def test_depth_averages_leaves(self):
+        builder = NetworkBuilder()
+        a, b, c, d = builder.pis(4)
+        left = builder.and_(a, b)      # level 1
+        chain = builder.not_(c)        # level 1
+        chain2 = builder.not_(chain)   # level 2
+        top = builder.and_(left, chain2)  # level 3
+        builder.po(top)
+        net = builder.build()
+        cone = mffc(net, top)
+        assert cone == {left, chain, chain2, top}
+        leaves = mffc_leaves(net, cone)
+        assert set(leaves) == {left, chain}
+        # depths: (3-1) and (3-1) -> mean 2.0
+        assert mffc_depth(net, top) == 2.0
+
+    def test_cache_consistency(self, fig4_network):
+        net, ids = fig4_network
+        cache = MffcCache(net)
+        for name in ("x", "y", "z", "t"):
+            assert cache.depth(ids[name]) == mffc_depth(net, ids[name])
+            # second call hits the cache
+            assert cache.depth(ids[name]) == mffc_depth(net, ids[name])

@@ -1,0 +1,54 @@
+"""Property tests: MFFC correctness on random networks."""
+
+import pytest
+
+from repro.network import ffc_check, mffc, mffc_leaves
+from tests.conftest import random_network
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestMffcProperties:
+    def test_mffc_is_ffc(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=16)
+        for node in net.gates():
+            cone = mffc(net, node.uid)
+            assert ffc_check(net, node.uid, cone), node.uid
+
+    def test_mffc_is_maximal(self, seed):
+        """No border fanin can be added while staying fanout-free."""
+        net = random_network(seed=seed, num_inputs=5, num_gates=16)
+        for node in net.gates():
+            cone = mffc(net, node.uid)
+            border = {
+                f
+                for uid in cone
+                for f in net.node(uid).fanins
+                if f not in cone and not net.node(f).is_pi
+            }
+            for candidate in border:
+                assert not ffc_check(net, node.uid, cone | {candidate}), (
+                    node.uid,
+                    candidate,
+                )
+
+    def test_root_always_inside(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=16)
+        for node in net.gates():
+            assert node.uid in mffc(net, node.uid)
+
+    def test_leaves_have_no_internal_fanins(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=16)
+        for node in net.gates():
+            cone = mffc(net, node.uid)
+            for leaf in mffc_leaves(net, cone):
+                assert not any(
+                    f in cone for f in net.node(leaf).fanins
+                )
+
+    def test_depth_nonnegative_and_bounded(self, seed):
+        from repro.network import mffc_depth
+
+        net = random_network(seed=seed, num_inputs=5, num_gates=16)
+        for node in net.gates():
+            depth = mffc_depth(net, node.uid)
+            assert 0.0 <= depth <= net.level(node.uid)

@@ -1,0 +1,59 @@
+"""Node invariants."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.logic import gates
+from repro.network.node import Node, NodeKind
+
+
+class TestConstruction:
+    def test_pi_node(self):
+        node = Node(0, NodeKind.PI, name="a")
+        assert node.is_pi
+        assert not node.is_gate
+        assert node.num_fanins == 0
+        assert node.label() == "a"
+
+    def test_pi_with_table_rejected(self):
+        with pytest.raises(NetworkError):
+            Node(0, NodeKind.PI, table=gates.inv())
+
+    def test_pi_with_fanins_rejected(self):
+        with pytest.raises(NetworkError):
+            Node(0, NodeKind.PI, fanins=(1,))
+
+    def test_gate_requires_table(self):
+        with pytest.raises(NetworkError):
+            Node(1, NodeKind.GATE, fanins=(0,))
+
+    def test_gate_arity_must_match(self):
+        with pytest.raises(NetworkError):
+            Node(1, NodeKind.GATE, fanins=(0,), table=gates.and_gate(2))
+
+    def test_const_gate(self):
+        from repro.logic.truthtable import TruthTable
+
+        node = Node(2, NodeKind.GATE, (), TruthTable.const(0, True))
+        assert node.is_const
+        assert node.is_gate
+
+
+class TestQueries:
+    def test_fanin_index(self):
+        node = Node(3, NodeKind.GATE, (1, 2), gates.and_gate(2))
+        assert node.fanin_index(1) == 0
+        assert node.fanin_index(2) == 1
+
+    def test_fanin_index_missing(self):
+        node = Node(3, NodeKind.GATE, (1, 2), gates.and_gate(2))
+        with pytest.raises(NetworkError):
+            node.fanin_index(9)
+
+    def test_duplicate_fanin_first_position(self):
+        node = Node(3, NodeKind.GATE, (1, 1), gates.xor_gate(2))
+        assert node.fanin_index(1) == 0
+
+    def test_default_label(self):
+        node = Node(17, NodeKind.PI)
+        assert node.label() == "n17"

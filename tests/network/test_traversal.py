@@ -1,0 +1,70 @@
+"""Traversal helpers: DFS fanin lists, cone orders, cone PIs."""
+
+from repro.network import (
+    NetworkBuilder,
+    cone_pis,
+    cone_topological_order,
+    dfs_fanin,
+    reachable_fanout,
+)
+
+
+class TestDfsFanin:
+    def test_root_first_every_node_once(self, and_or_network):
+        net, ids = and_or_network
+        order = dfs_fanin(net, ids["out"])
+        assert order[0] == ids["out"]
+        assert sorted(order) == sorted(
+            {ids["a"], ids["b"], ids["c"], ids["inner"], ids["out"]}
+        )
+        assert len(order) == len(set(order))
+
+    def test_first_fanin_explored_first(self, and_or_network):
+        net, ids = and_or_network
+        order = dfs_fanin(net, ids["out"])
+        # out's fanins are (inner, c): inner's subtree should come first.
+        assert order.index(ids["inner"]) < order.index(ids["c"])
+
+    def test_pi_root(self, and_or_network):
+        net, ids = and_or_network
+        assert dfs_fanin(net, ids["a"]) == [ids["a"]]
+
+    def test_reconvergent_cone_visited_once(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        inv = builder.not_(a)
+        out = builder.and_(inv, a)
+        builder.po(out)
+        net = builder.build()
+        order = dfs_fanin(net, out)
+        assert order.count(a) == 1
+
+
+class TestConeTopo:
+    def test_restricted_order(self, and_or_network):
+        net, ids = and_or_network
+        order = cone_topological_order(net, [ids["inner"]])
+        assert set(order) == {ids["a"], ids["b"], ids["inner"]}
+        assert order.index(ids["a"]) < order.index(ids["inner"])
+
+    def test_multiple_roots(self, and_or_network):
+        net, ids = and_or_network
+        order = cone_topological_order(net, [ids["inner"], ids["c"]])
+        assert ids["c"] in order
+        assert ids["out"] not in order
+
+
+class TestConePis:
+    def test_cone_pis_sorted(self, and_or_network):
+        net, ids = and_or_network
+        assert cone_pis(net, ids["out"]) == sorted(
+            [ids["a"], ids["b"], ids["c"]]
+        )
+        assert cone_pis(net, ids["inner"]) == sorted([ids["a"], ids["b"]])
+
+
+class TestReachableFanout:
+    def test_excludes_root(self, and_or_network):
+        net, ids = and_or_network
+        reach = reachable_fanout(net, ids["a"])
+        assert reach == {ids["inner"], ids["out"]}

@@ -1,0 +1,101 @@
+"""CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.errors import SatError
+from repro.sat.cnf import Cnf
+
+
+class TestBasics:
+    def test_new_var_sequence(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_add_clause_grows_vars(self):
+        cnf = Cnf()
+        cnf.add_clause([3, -5])
+        assert cnf.num_vars == 5
+        assert len(cnf) == 1
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SatError):
+            Cnf().add_clause([0])
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(SatError):
+            Cnf(-1)
+
+    def test_extend(self):
+        cnf = Cnf()
+        cnf.extend([[1], [2, -1]])
+        assert len(cnf) == 2
+
+
+class TestEvaluate:
+    def test_satisfied(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2])
+        assert cnf.evaluate({1: True, 2: True})
+
+    def test_unsatisfied(self):
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not cnf.evaluate({1: True})
+
+    def test_missing_vars_default_false(self):
+        cnf = Cnf()
+        cnf.add_clause([-1])
+        assert cnf.evaluate({})
+
+
+class TestBruteForce:
+    def test_finds_model(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        model = cnf.brute_force()
+        assert model is not None
+        assert model[2] and not model[1]
+
+    def test_reports_unsat(self):
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert cnf.brute_force() is None
+
+    def test_cap(self):
+        cnf = Cnf(21)
+        with pytest.raises(SatError):
+            cnf.brute_force()
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-3])
+        text = cnf.to_dimacs()
+        parsed = Cnf.from_dimacs(text)
+        assert parsed.num_vars == cnf.num_vars
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+
+    def test_parse_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_missing_header(self):
+        with pytest.raises(SatError):
+            Cnf.from_dimacs("1 2 0\n")
+
+    def test_bad_header(self):
+        with pytest.raises(SatError):
+            Cnf.from_dimacs("p sat 2 1\n")

@@ -1,0 +1,208 @@
+"""CDCL solver: unit cases, assumptions, fuzz vs brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SatError
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, SatResult, solve_cnf
+
+
+def make_cnf(clauses, num_vars=0):
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        result, model = solve_cnf(Cnf(2))
+        assert result is SatResult.SAT
+
+    def test_single_unit(self):
+        result, model = solve_cnf(make_cnf([[1]]))
+        assert result is SatResult.SAT
+        assert model[1] is True
+
+    def test_contradictory_units(self):
+        result, _ = solve_cnf(make_cnf([[1], [-1]]))
+        assert result is SatResult.UNSAT
+
+    def test_propagation_chain(self):
+        result, model = solve_cnf(make_cnf([[1], [-1, 2], [-2, 3]]))
+        assert result is SatResult.SAT
+        assert model[1] and model[2] and model[3]
+
+    def test_simple_unsat(self):
+        # (a|b) & (a|~b) & (~a|b) & (~a|~b)
+        result, _ = solve_cnf(make_cnf([[1, 2], [1, -2], [-1, 2], [-1, -2]]))
+        assert result is SatResult.UNSAT
+
+    def test_tautology_clause_ignored(self):
+        solver = CdclSolver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve() is SatResult.SAT
+
+    def test_duplicate_literals_collapsed(self):
+        result, model = solve_cnf(make_cnf([[1, 1, 1]]))
+        assert result is SatResult.SAT
+        assert model[1]
+
+    def test_model_satisfies_formula(self):
+        cnf = make_cnf([[1, 2, 3], [-1, -2], [2, -3], [-1, 3]])
+        result, model = solve_cnf(cnf)
+        assert result is SatResult.SAT
+        assert cnf.evaluate(model)
+
+    def test_model_unavailable_after_unsat(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SatResult.UNSAT
+        with pytest.raises(SatError):
+            solver.model()
+
+    def test_literal_zero_rejected(self):
+        with pytest.raises(SatError):
+            CdclSolver().add_clause([0])
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is SatResult.SAT
+        assert solver.model()[2] is True
+
+    def test_unsat_under_assumptions_sat_without(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[-2]) is SatResult.UNSAT
+        assert solver.solve() is SatResult.SAT
+
+    def test_conflicting_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1]) is SatResult.UNSAT
+
+    def test_assumptions_do_not_persist(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1, -2]) is SatResult.UNSAT
+        assert solver.solve(assumptions=[1]) is SatResult.SAT
+        assert solver.solve() is SatResult.SAT
+
+    def test_incremental_selector_pattern(self):
+        """The sweeping engine's usage: guard clauses, solve, retire."""
+        solver = CdclSolver()
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([a, b])
+        s1 = solver.new_var()
+        solver.add_clause([-s1, -a])
+        solver.add_clause([-s1, -b])
+        assert solver.solve(assumptions=[s1]) is SatResult.UNSAT
+        solver.add_clause([-s1])
+        s2 = solver.new_var()
+        solver.add_clause([-s2, a])
+        assert solver.solve(assumptions=[s2]) is SatResult.SAT
+        assert solver.model()[a] is True
+
+
+class TestConflictLimit:
+    def test_unknown_on_tiny_budget(self):
+        rng = random.Random(3)
+        cnf = Cnf(30)
+        # A dense random 3-CNF near the phase transition.
+        for _ in range(128):
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, 30) for _ in range(3)
+            ]
+            cnf.add_clause(clause)
+        result, _ = solve_cnf(cnf, conflict_limit=1)
+        assert result in (SatResult.UNKNOWN, SatResult.SAT, SatResult.UNSAT)
+        # With limit 1 the solver must stop almost immediately.
+        solver = CdclSolver()
+        solver.add_cnf(cnf)
+        solver.solve(conflict_limit=1)
+        assert solver.stats["conflicts"] <= 2
+
+
+class TestFuzzAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_3cnf(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 9)
+        num_clauses = rng.randint(1, 40)
+        cnf = Cnf(num_vars)
+        for _ in range(num_clauses):
+            k = rng.randint(1, 3)
+            cnf.add_clause(
+                [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(k)]
+            )
+        result, model = solve_cnf(cnf)
+        reference = cnf.brute_force()
+        if reference is None:
+            assert result is SatResult.UNSAT
+        else:
+            assert result is SatResult.SAT
+            assert cnf.evaluate(model)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_cnf_with_assumptions(self, seed):
+        rng = random.Random(1000 + seed)
+        num_vars = rng.randint(2, 8)
+        cnf = Cnf(num_vars)
+        for _ in range(rng.randint(1, 25)):
+            k = rng.randint(1, 3)
+            cnf.add_clause(
+                [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(k)]
+            )
+        assumptions = []
+        for v in rng.sample(range(1, num_vars + 1), rng.randint(1, num_vars)):
+            assumptions.append(v if rng.random() < 0.5 else -v)
+        # Reference: add assumptions as units.
+        ref_cnf = Cnf(num_vars)
+        for clause in cnf:
+            ref_cnf.add_clause(clause)
+        for lit in assumptions:
+            ref_cnf.add_clause([lit])
+        solver = CdclSolver()
+        solver.add_cnf(cnf)
+        result = solver.solve(assumptions=assumptions)
+        reference = ref_cnf.brute_force()
+        if reference is None:
+            assert result is SatResult.UNSAT
+        else:
+            assert result is SatResult.SAT
+            assert ref_cnf.evaluate(solver.model())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_hypothesis_cnf(self, data):
+        num_vars = data.draw(st.integers(1, 7))
+        clauses = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(1, num_vars).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=4,
+                ),
+                max_size=30,
+            )
+        )
+        cnf = make_cnf(clauses, num_vars)
+        result, model = solve_cnf(cnf)
+        reference = cnf.brute_force()
+        if reference is None:
+            assert result is SatResult.UNSAT
+        else:
+            assert result is SatResult.SAT
+            assert cnf.evaluate(model)

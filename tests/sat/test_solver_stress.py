@@ -1,0 +1,115 @@
+"""Structured stress instances for the CDCL solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, SatResult, solve_cnf
+
+
+def pigeonhole(pigeons: int, holes: int) -> Cnf:
+    """PHP(p, h): UNSAT iff p > h; classic resolution-hard family."""
+    cnf = Cnf(pigeons * holes)
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_unsat_when_overfull(self, holes):
+        result, _ = solve_cnf(pigeonhole(holes + 1, holes))
+        assert result is SatResult.UNSAT
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_sat_when_fits(self, holes):
+        cnf = pigeonhole(holes, holes)
+        result, model = solve_cnf(cnf)
+        assert result is SatResult.SAT
+        assert cnf.evaluate(model)
+
+
+class TestImplicationChains:
+    def test_long_chain_propagates(self):
+        """1 -> 2 -> ... -> n by unit propagation only (no decisions)."""
+        n = 500
+        solver = CdclSolver()
+        solver.add_clause([1])
+        for v in range(1, n):
+            solver.add_clause([-v, v + 1])
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        assert all(model[v] for v in range(1, n + 1))
+        assert solver.stats["decisions"] == 0
+
+    def test_chain_with_contradiction_unsat(self):
+        n = 200
+        solver = CdclSolver()
+        solver.add_clause([1])
+        for v in range(1, n):
+            solver.add_clause([-v, v + 1])
+        solver.add_clause([-n])
+        assert solver.solve() is SatResult.UNSAT
+
+
+class TestXorChains:
+    """Parity constraints force deep search with learning."""
+
+    def _xor_clauses(self, a: int, b: int, c: int):
+        """Clauses for a XOR b = c."""
+        return [
+            [-a, -b, -c],
+            [a, b, -c],
+            [a, -b, c],
+            [-a, b, c],
+        ]
+
+    def test_consistent_parity_chain(self):
+        solver = CdclSolver()
+        n = 30
+        for i in range(1, n - 1, 2):
+            for clause in self._xor_clauses(i, i + 1, i + 2):
+                solver.add_clause(clause)
+        assert solver.solve() is SatResult.SAT
+
+    def test_contradictory_parity(self):
+        # a XOR b = c, with a=b and c=1 forced: c must be 0 -> UNSAT.
+        solver = CdclSolver()
+        for clause in self._xor_clauses(1, 2, 3):
+            solver.add_clause(clause)
+        solver.add_clause([1])
+        solver.add_clause([2])
+        solver.add_clause([3])
+        assert solver.solve() is SatResult.UNSAT
+
+
+class TestRepeatedSolving:
+    def test_many_queries_one_solver(self):
+        """Selector-guarded queries stay correct over a long session."""
+        rng = random.Random(5)
+        solver = CdclSolver()
+        variables = [solver.new_var() for _ in range(12)]
+        # Base constraints: a random satisfiable 2-CNF chain.
+        for i in range(len(variables) - 1):
+            solver.add_clause([variables[i], variables[i + 1]])
+        for round_index in range(30):
+            selector = solver.new_var()
+            forced = rng.choice(variables)
+            polarity = rng.choice([1, -1])
+            solver.add_clause([-selector, polarity * forced])
+            result = solver.solve(assumptions=[selector])
+            assert result in (SatResult.SAT, SatResult.UNSAT)
+            if result is SatResult.SAT:
+                assert solver.model()[forced] == (polarity > 0)
+            solver.add_clause([-selector])
+        # The base problem must still be SAT at the end.
+        assert solver.solve() is SatResult.SAT

@@ -1,0 +1,80 @@
+"""Packed bit-vector helpers."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import bitvec
+
+
+class TestBasics:
+    def test_width_mask(self):
+        assert bitvec.width_mask(0) == 0
+        assert bitvec.width_mask(3) == 0b111
+        assert bitvec.width_mask(64) == (1 << 64) - 1
+
+    def test_width_mask_negative(self):
+        with pytest.raises(SimulationError):
+            bitvec.width_mask(-1)
+
+    def test_random_word_in_range(self):
+        rng = random.Random(0)
+        for width in (0, 1, 7, 65):
+            word = bitvec.random_word(rng, width)
+            assert 0 <= word <= bitvec.width_mask(width)
+
+    def test_get_set_bit(self):
+        word = 0b1010
+        assert bitvec.get_bit(word, 1) == 1
+        assert bitvec.get_bit(word, 2) == 0
+        assert bitvec.set_bit(word, 0, 1) == 0b1011
+        assert bitvec.set_bit(word, 3, 0) == 0b0010
+
+    def test_from_to_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0]
+        word = bitvec.from_bits(bits)
+        assert bitvec.to_bits(word, 5) == bits
+
+    def test_from_bits_rejects_non_boolean(self):
+        with pytest.raises(SimulationError):
+            bitvec.from_bits([2])
+
+
+class TestExhaustiveWord:
+    def test_matches_truth_table_convention(self):
+        # Variable i's column: bit p of the word is bit i of pattern p.
+        for num_vars in (1, 2, 3):
+            for var in range(num_vars):
+                word = bitvec.exhaustive_word(var, num_vars)
+                for p in range(1 << num_vars):
+                    assert bitvec.get_bit(word, p) == (p >> var) & 1
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            bitvec.exhaustive_word(2, 2)
+
+
+class TestConcat:
+    def test_concat_words(self):
+        word, width = bitvec.concat_words([(0b01, 2), (0b1, 1), (0b10, 2)])
+        assert width == 5
+        assert word == 0b10_1_01
+
+    def test_concat_masks_overflow(self):
+        word, width = bitvec.concat_words([(0b111, 2)])
+        assert word == 0b11
+        assert width == 2
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1), max_size=40))
+    def test_roundtrip_property(self, bits):
+        assert bitvec.to_bits(bitvec.from_bits(bits), len(bits)) == bits
+
+    @given(st.integers(0, 60), st.integers(1, 61))
+    def test_set_then_get(self, pos, width):
+        word = bitvec.set_bit(0, pos, 1)
+        assert bitvec.get_bit(word, pos) == 1

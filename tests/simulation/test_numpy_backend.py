@@ -1,0 +1,66 @@
+"""numpy backend: bit-identical to the big-int simulator."""
+
+import random
+
+import pytest
+
+numpy = pytest.importorskip("numpy")
+
+from repro.simulation import PatternBatch, Simulator
+from repro.simulation.numpy_backend import (
+    NumpySimulator,
+    int_to_words,
+    words_to_int,
+)
+from tests.conftest import random_network
+
+
+class TestWordPacking:
+    @pytest.mark.parametrize("width", [1, 63, 64, 65, 130, 1000])
+    def test_roundtrip(self, width):
+        rng = random.Random(width)
+        value = rng.getrandbits(width)
+        assert words_to_int(int_to_words(value, width), width) == value
+
+    def test_zero_width(self):
+        assert words_to_int(int_to_words(0, 0), 0) == 0
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("width", [1, 32, 64, 100, 257])
+    def test_matches_bigint_simulator(self, seed, width):
+        net = random_network(seed=seed, num_inputs=5, num_gates=15)
+        batch = PatternBatch(net.pis, random.Random(seed))
+        batch.add_random(width)
+        words = batch.words()
+        reference = Simulator(net).run_words(words, width)
+        fast = NumpySimulator(net).run_words(words, width)
+        assert fast == reference
+
+    def test_constants_and_masking(self):
+        from repro.network import NetworkBuilder
+
+        builder = NetworkBuilder()
+        a = builder.pi()
+        one = builder.const(True)
+        g = builder.and_(a, one)
+        builder.po(g)
+        net = builder.build()
+        width = 70  # crosses a word boundary
+        words = {a: (1 << 69) | 0b101}
+        reference = Simulator(net).run_words(words, width)
+        fast = NumpySimulator(net).run_words(words, width)
+        assert fast == reference
+        assert fast[one] == (1 << width) - 1
+
+    def test_mapped_benchmark(self):
+        from repro.benchgen import sweep_instance
+
+        net = sweep_instance("alu4")
+        batch = PatternBatch(net.pis, random.Random(3))
+        batch.add_random(128)
+        words = batch.words()
+        assert NumpySimulator(net).run_words(words, 128) == Simulator(
+            net
+        ).run_words(words, 128)

@@ -1,0 +1,85 @@
+"""Input vectors and pattern batches."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import InputVector, PatternBatch
+
+
+class TestInputVector:
+    def test_set_get(self):
+        vector = InputVector()
+        vector.set(3, 1)
+        assert vector.get(3) == 1
+        assert vector.get(4) is None
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(SimulationError):
+            InputVector().set(0, 2)
+
+    def test_is_complete_for(self):
+        vector = InputVector({0: 1, 1: 0})
+        assert vector.is_complete_for([0, 1])
+        assert not vector.is_complete_for([0, 1, 2])
+
+    def test_completed_fills_free_pis(self):
+        vector = InputVector({0: 1})
+        completed = vector.completed([0, 1, 2], random.Random(0))
+        assert completed.values[0] == 1
+        assert set(completed.values) == {0, 1, 2}
+        # original untouched
+        assert 1 not in vector.values
+
+
+class TestPatternBatch:
+    def test_add_vector_positions(self):
+        batch = PatternBatch([0, 1], random.Random(0))
+        p0 = batch.add_vector(InputVector({0: 1, 1: 0}))
+        p1 = batch.add_vector(InputVector({0: 0, 1: 1}))
+        assert (p0, p1) == (0, 1)
+        words = batch.words()
+        assert words[0] == 0b01
+        assert words[1] == 0b10
+
+    def test_free_pis_randomized_deterministically(self):
+        batch_a = PatternBatch([0, 1], random.Random(7))
+        batch_b = PatternBatch([0, 1], random.Random(7))
+        for batch in (batch_a, batch_b):
+            batch.add_vector(InputVector({0: 1}))
+        assert batch_a.words() == batch_b.words()
+
+    def test_add_random(self):
+        batch = PatternBatch([0, 1, 2], random.Random(1))
+        batch.add_random(70)
+        assert batch.width == 70
+        for word in batch.words().values():
+            assert 0 <= word < (1 << 70)
+
+    def test_add_random_negative(self):
+        with pytest.raises(SimulationError):
+            PatternBatch([0]).add_random(-1)
+
+    def test_vector_at_recovers_total_vector(self):
+        batch = PatternBatch([0, 1], random.Random(0))
+        batch.add_vector(InputVector({0: 1}))
+        vector = batch.vector_at(0)
+        assert vector.values[0] == 1
+        assert vector.values[1] in (0, 1)
+
+    def test_vector_at_out_of_range(self):
+        batch = PatternBatch([0])
+        with pytest.raises(SimulationError):
+            batch.vector_at(0)
+
+    def test_rejects_bad_pi_value(self):
+        batch = PatternBatch([0])
+        with pytest.raises(SimulationError):
+            batch.add_vector({0: 5})
+
+    def test_random_for_network(self, and_or_network):
+        net, _ = and_or_network
+        batch = PatternBatch.random_for(net, 16, random.Random(0))
+        assert batch.width == 16
+        assert set(batch.words()) == set(net.pis)

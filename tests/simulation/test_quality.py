@@ -1,0 +1,112 @@
+"""Vector-quality metrics (expressiveness / toggle rate)."""
+
+import random
+
+import pytest
+
+from repro.network import NetworkBuilder
+from repro.simulation import InputVector, PatternBatch
+from repro.simulation.quality import (
+    VectorQuality,
+    batch_quality,
+    distinguishing_power,
+)
+
+
+@pytest.fixture
+def xor_chain():
+    builder = NetworkBuilder()
+    a, b = builder.pis(2)
+    g1 = builder.xor_(a, b)
+    g2 = builder.not_(g1)
+    g3 = builder.and_(a, b)
+    builder.po(g2)
+    builder.po(g3)
+    return builder.build(), (g1, g2, g3)
+
+
+class TestBatchQuality:
+    def test_empty_batch(self, xor_chain):
+        net, _ = xor_chain
+        batch = PatternBatch(net.pis)
+        quality = batch_quality(net, batch)
+        assert quality.patterns == 0
+        assert quality.toggle_rate == 0.0
+
+    def test_constant_patterns_zero_toggle(self, xor_chain):
+        net, nodes = xor_chain
+        batch = PatternBatch(net.pis, random.Random(0))
+        for _ in range(4):
+            batch.add_vector(InputVector({net.pis[0]: 0, net.pis[1]: 0}))
+        quality = batch_quality(net, batch, nodes)
+        assert quality.toggle_rate == 0.0
+        assert quality.constant_fraction == 1.0
+
+    def test_alternating_patterns_full_toggle(self, xor_chain):
+        net, nodes = xor_chain
+        batch = PatternBatch(net.pis, random.Random(0))
+        for p in range(4):
+            value = p % 2
+            batch.add_vector(
+                InputVector({net.pis[0]: value, net.pis[1]: 0})
+            )
+        # g1 = a ^ 0 toggles every step; g3 = a & 0 stays 0.
+        quality = batch_quality(net, batch, [nodes[0], nodes[2]])
+        assert quality.toggle_rate == pytest.approx(0.5)
+
+    def test_signature_classes_counts_distinct_behaviour(self, xor_chain):
+        net, nodes = xor_chain
+        batch = PatternBatch(net.pis, random.Random(0))
+        batch.add_vector(InputVector({net.pis[0]: 0, net.pis[1]: 1}))
+        batch.add_vector(InputVector({net.pis[0]: 1, net.pis[1]: 1}))
+        quality = batch_quality(net, batch, nodes)
+        # g1 and g2 are complementary, g3 differs: three signatures unless
+        # two coincide on these two patterns.
+        assert 1 <= quality.signature_classes <= 3
+
+
+class TestDistinguishingPower:
+    def test_counts_splits_per_class(self, xor_chain):
+        net, (g1, g2, g3) = xor_chain
+        batch = PatternBatch(net.pis, random.Random(0))
+        batch.add_vector(InputVector({net.pis[0]: 1, net.pis[1]: 1}))
+        # Under (1,1): g1=0, g2=1, g3=1 -> class {g1,g2,g3} splits into
+        # {g1} and {g2,g3}: one split.
+        assert distinguishing_power(net, batch, [[g1, g2, g3]]) == 1
+
+    def test_no_patterns_no_splits(self, xor_chain):
+        net, (g1, g2, g3) = xor_chain
+        batch = PatternBatch(net.pis)
+        assert distinguishing_power(net, batch, [[g1, g2]]) == 0
+
+    def test_simgen_vectors_outsplit_random_on_rare_logic(self):
+        """The headline property, measured directly on a decoder."""
+        from repro.benchgen import sweep_instance
+        from repro.core import make_generator
+        from repro.sweep import EquivalenceClasses
+
+        net = sweep_instance("dec")
+        # Initial classes from a tiny random batch.
+        classes = EquivalenceClasses(net)
+        seed_batch = PatternBatch(net.pis, random.Random(1))
+        seed_batch.add_random(2)
+        from repro.simulation import Simulator
+
+        values = Simulator(net).run_batch(seed_batch)
+        classes.refine(values, 2)
+        splittable = classes.splittable()
+        if not splittable:
+            pytest.skip("decoder already resolved by the seed batch")
+
+        random_batch = PatternBatch(net.pis, random.Random(2))
+        random_batch.add_random(4)
+
+        generator = make_generator("AI+DC+MFFC", net, seed=3)
+        vectors = generator.generate(splittable)
+        guided_batch = PatternBatch(net.pis, random.Random(2))
+        for vector in vectors[:4]:
+            guided_batch.add_vector(vector)
+
+        random_splits = distinguishing_power(net, random_batch, splittable)
+        guided_splits = distinguishing_power(net, guided_batch, splittable)
+        assert guided_splits >= random_splits

@@ -1,0 +1,127 @@
+"""Bit-parallel simulation cross-checked against per-pattern evaluation."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.logic import TruthTable
+from repro.network import NetworkBuilder
+from repro.simulation import (
+    PatternBatch,
+    Simulator,
+    cone_function,
+    simulate,
+)
+from tests.conftest import random_network
+
+
+def reference_eval(net, assignment):
+    """Slow one-pattern reference evaluation via truth tables."""
+    values = {}
+    for uid in net.topological_order():
+        node = net.node(uid)
+        if node.is_pi:
+            values[uid] = assignment[uid]
+        elif node.is_const:
+            values[uid] = node.table.bits & 1
+        else:
+            values[uid] = node.table.evaluate(
+                [values[f] for f in node.fanins]
+            )
+    return values
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks_random_patterns(self, seed):
+        net = random_network(seed=seed)
+        rng = random.Random(seed + 100)
+        batch = PatternBatch(net.pis, rng)
+        batch.add_random(32)
+        packed = Simulator(net).run_batch(batch)
+        for p in range(batch.width):
+            vector = batch.vector_at(p)
+            reference = reference_eval(net, vector.values)
+            for uid in net.node_ids():
+                assert (packed[uid] >> p) & 1 == reference[uid], (p, uid)
+
+    def test_single_vector(self, and_or_network):
+        net, ids = and_or_network
+        out = Simulator(net).run_vector({ids["a"]: 1, ids["b"]: 1, ids["c"]: 0})
+        assert out[ids["out"]] == 1
+        assert out[ids["inner"]] == 1
+
+    def test_const_nodes(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        one = builder.const(True)
+        g = builder.and_(a, one)
+        builder.po(g)
+        net = builder.build()
+        sim = Simulator(net)
+        values = sim.run_words({a: 0b10}, 2)
+        assert values[one] == 0b11
+        assert values[g] == 0b10
+
+    def test_missing_pi_rejected(self, and_or_network):
+        net, ids = and_or_network
+        with pytest.raises(SimulationError):
+            Simulator(net).run_words({ids["a"]: 1}, 1)
+
+    def test_width_masks_inputs(self, and_or_network):
+        net, ids = and_or_network
+        values = Simulator(net).run_words(
+            {ids["a"]: 0xFF, ids["b"]: 0xFF, ids["c"]: 0}, 4
+        )
+        assert values[ids["out"]] == 0xF
+
+    def test_output_words(self, and_or_network):
+        net, ids = and_or_network
+        sim = Simulator(net)
+        values = sim.run_words({ids["a"]: 1, ids["b"]: 1, ids["c"]: 0}, 1)
+        assert sim.output_words(values) == {"f": 1}
+
+    def test_one_shot_wrapper(self, and_or_network):
+        net, ids = and_or_network
+        values = simulate(net, {ids["a"]: 0, ids["b"]: 0, ids["c"]: 1}, 1)
+        assert values[ids["out"]] == 1
+
+
+class TestConeFunction:
+    def test_exhaustive_function(self, and_or_network):
+        net, ids = and_or_network
+        table, support = cone_function(net, ids["out"])
+        assert support == sorted([ids["a"], ids["b"], ids["c"]])
+        for m in range(8):
+            bits = {pi: (m >> i) & 1 for i, pi in enumerate(support)}
+            reference = reference_eval(net, bits)
+            assert table.output_for(m) == reference[ids["out"]]
+
+    def test_cone_function_of_pi(self, and_or_network):
+        net, ids = and_or_network
+        table, support = cone_function(net, ids["a"])
+        assert support == [ids["a"]]
+        assert table == TruthTable.var(1, 0)
+
+    def test_support_cap(self):
+        builder = NetworkBuilder()
+        xs = builder.pis(8)
+        root = builder.reduce_tree("and", xs)
+        builder.po(root)
+        net = builder.build()
+        with pytest.raises(SimulationError):
+            cone_function(net, root, max_support=4)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cone_function_matches_simulation(self, seed):
+        net = random_network(seed=seed, num_inputs=4, num_gates=10)
+        for _, po in net.pos:
+            table, support = cone_function(net, po)
+            for m in range(1 << len(support)):
+                assignment = {pi: 0 for pi in net.pis}
+                assignment.update(
+                    {pi: (m >> i) & 1 for i, pi in enumerate(support)}
+                )
+                reference = reference_eval(net, assignment)
+                assert table.output_for(m) == reference[po]

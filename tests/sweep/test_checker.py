@@ -1,0 +1,88 @@
+"""PairChecker: incremental vs fresh agreement, counterexample validity."""
+
+import random
+
+import pytest
+
+from repro.network import NetworkBuilder
+from repro.sat.solver import SatResult
+from repro.simulation import Simulator
+from repro.sweep.checker import PairChecker
+from tests.conftest import random_network
+
+
+class TestBasics:
+    def test_equivalent_pair_unsat(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.and_(a, b)
+        g2 = builder.not_(builder.nand_(a, b))
+        builder.po(g1)
+        builder.po(g2)
+        net = builder.build()
+        for incremental in (True, False):
+            checker = PairChecker(net, incremental=incremental)
+            result, vector = checker.check(g1, g2)
+            assert result is SatResult.UNSAT
+            assert vector is None
+            assert checker.stats.proven == 1
+
+    def test_different_pair_sat_with_valid_cex(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.and_(a, b)
+        g2 = builder.xor_(a, b)
+        builder.po(g1)
+        builder.po(g2)
+        net = builder.build()
+        sim = Simulator(net)
+        for incremental in (True, False):
+            checker = PairChecker(net, incremental=incremental)
+            result, vector = checker.check(g1, g2)
+            assert result is SatResult.SAT
+            full = vector.completed(net.pis, random.Random(0))
+            values = sim.run_vector(full.values)
+            assert values[g1] != values[g2]
+
+    def test_complement_check(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.and_(a, b)
+        g2 = builder.nand_(a, b)
+        builder.po(g1)
+        builder.po(g2)
+        net = builder.build()
+        checker = PairChecker(net, incremental=True)
+        result, _ = checker.check(g1, g2, complement=True)
+        assert result is SatResult.UNSAT  # g1 == NOT g2 proven
+
+
+class TestIncrementalAgreement:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_with_fresh_over_many_queries(self, seed):
+        net = random_network(seed=seed, num_inputs=6, num_gates=25)
+        gates = [uid for uid in net.node_ids() if net.node(uid).is_gate]
+        rng = random.Random(seed)
+        incremental = PairChecker(net, incremental=True)
+        fresh = PairChecker(net, incremental=False)
+        for _ in range(30):
+            a, b = rng.sample(gates, 2)
+            complement = rng.random() < 0.3
+            result_inc, _ = incremental.check(a, b, complement)
+            result_fresh, _ = fresh.check(a, b, complement)
+            assert result_inc == result_fresh, (a, b, complement)
+
+    def test_stats_accumulate(self):
+        net = random_network(seed=1)
+        gates = [uid for uid in net.node_ids() if net.node(uid).is_gate]
+        checker = PairChecker(net)
+        checker.check(gates[0], gates[1])
+        checker.check(gates[1], gates[2])
+        assert checker.stats.calls == 2
+        assert checker.stats.sat_time > 0
+        assert (
+            checker.stats.proven
+            + checker.stats.disproven
+            + checker.stats.unknown
+            == 2
+        )

@@ -1,0 +1,144 @@
+"""SweepEngine: phases, metrics, and correctness of proven equivalences."""
+
+import pytest
+
+from repro.core import make_generator
+from repro.logic import TruthTable
+from repro.network import NetworkBuilder
+from repro.simulation import cone_function
+from repro.sweep import SweepConfig, SweepEngine
+from tests.conftest import random_network
+
+
+def redundant_network(seed=0):
+    """A network with guaranteed internal equivalences and differences."""
+    builder = NetworkBuilder()
+    a, b, c, d = builder.pis(4)
+    # Equivalent trio: and, double-negated and, De-Morganed and.
+    g1 = builder.and_(a, b)
+    g2 = builder.not_(builder.nand_(a, b))
+    g3 = builder.nor_(builder.not_(a), builder.not_(b))
+    # A near miss: differs from g1 only at a=b=1, c=1.
+    g4 = builder.and_(g1, builder.not_(c))
+    builder.po(g1)
+    builder.po(g2)
+    builder.po(g3)
+    builder.po(g4)
+    builder.po(builder.or_(c, d))
+    return builder.build(), (g1, g2, g3, g4)
+
+
+def verify_equivalences(net, equivalences):
+    for rep, member, complemented in equivalences:
+        table_a, sup_a = cone_function(net, rep)
+        table_b, sup_b = cone_function(net, member)
+        union = sorted(set(sup_a) | set(sup_b))
+        wide_a = table_a.expand(len(union), [union.index(p) for p in sup_a])
+        wide_b = table_b.expand(len(union), [union.index(p) for p in sup_b])
+        if complemented:
+            assert wide_a.bits == (~wide_b).bits
+        else:
+            assert wide_a.bits == wide_b.bits
+
+
+class TestFullSweep:
+    def test_proves_real_equivalences(self):
+        net, (g1, g2, g3, g4) = redundant_network()
+        engine = SweepEngine(
+            net, make_generator("AI+DC+MFFC", net, seed=1), SweepConfig(seed=2)
+        )
+        result = engine.run()
+        assert result.metrics.sat_calls > 0
+        verify_equivalences(net, result.equivalences)
+        proven_pairs = {
+            frozenset((a, b)) for a, b, _ in result.equivalences
+        }
+        # The equivalent trio must end up merged (two proofs).
+        assert any(g1 in pair or g2 in pair or g3 in pair for pair in proven_pairs)
+
+    def test_all_classes_resolved(self):
+        net, _ = redundant_network()
+        engine = SweepEngine(
+            net, make_generator("RevS", net, seed=1), SweepConfig(seed=2)
+        )
+        result = engine.run()
+        assert result.classes.splittable() == []
+
+    @pytest.mark.parametrize("strategy", ["RandS", "RevS", "AI+DC+MFFC"])
+    def test_proven_equivalences_always_true(self, strategy):
+        net = random_network(seed=11, num_inputs=5, num_gates=18)
+        engine = SweepEngine(
+            net,
+            make_generator(strategy, net, seed=3),
+            SweepConfig(seed=4, iterations=5),
+        )
+        result = engine.run()
+        verify_equivalences(net, result.equivalences)
+
+    def test_complement_mode(self):
+        net, _ = redundant_network()
+        engine = SweepEngine(
+            net,
+            make_generator("AI+DC+MFFC", net, seed=1),
+            SweepConfig(seed=2, match_complements=True, random_width=16),
+        )
+        result = engine.run()
+        verify_equivalences(net, result.equivalences)
+
+
+class TestMetrics:
+    def test_cost_history_monotone_nonincreasing(self):
+        net = random_network(seed=5, num_inputs=6, num_gates=20)
+        engine = SweepEngine(
+            net,
+            make_generator("AI+DC+MFFC", net, seed=1),
+            SweepConfig(seed=2, iterations=8),
+        )
+        classes, metrics = engine.run_simulation_phase()
+        history = metrics.cost_history
+        assert len(history) == 1 + 8  # random round + iterations
+        assert all(a >= b for a, b in zip(history, history[1:]))
+
+    def test_iteration_times_recorded(self):
+        net = random_network(seed=5)
+        engine = SweepEngine(
+            net,
+            make_generator("RevS", net, seed=1),
+            SweepConfig(seed=2, iterations=4),
+        )
+        _, metrics = engine.run_simulation_phase()
+        assert len(metrics.iteration_times) == 4
+        assert metrics.sim_time >= sum(metrics.iteration_times) * 0.99
+
+    def test_determinism(self):
+        net = random_network(seed=6, num_inputs=6, num_gates=20)
+
+        def run_once():
+            engine = SweepEngine(
+                net,
+                make_generator("AI+DC+MFFC", net, seed=9),
+                SweepConfig(seed=3, iterations=6),
+            )
+            result = engine.run()
+            return (
+                result.metrics.cost_history,
+                result.metrics.sat_calls,
+                sorted(result.equivalences),
+            )
+
+        assert run_once() == run_once()
+
+    def test_random_only_sweep(self):
+        net = random_network(seed=7)
+        engine = SweepEngine(net, None, SweepConfig(seed=1))
+        classes, metrics = engine.run_simulation_phase()
+        assert len(metrics.cost_history) == 1
+        result = engine.run_sat_phase(classes, metrics)
+        assert result.classes.splittable() == []
+
+    def test_final_cost_requires_history(self):
+        from repro.errors import SweepError
+        from repro.sweep.engine import SweepMetrics
+
+        with pytest.raises(SweepError):
+            SweepMetrics().final_cost

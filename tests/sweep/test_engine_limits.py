@@ -1,0 +1,141 @@
+"""Sweep engine behaviour at resource limits and corner cases."""
+
+import pytest
+
+from repro.core import make_generator
+from repro.network import NetworkBuilder
+from repro.sweep import SweepConfig, SweepEngine
+
+
+def parity_pair_network(width=8):
+    """Two structurally different parity trees (truly equivalent)."""
+    builder = NetworkBuilder()
+    xs = builder.pis(width)
+    left = builder.reduce_tree("xor", xs)
+    # right: linear chain instead of a balanced tree
+    chain = xs[0]
+    for x in xs[1:]:
+        chain = builder.xor_(chain, x)
+    builder.po(left, "l")
+    builder.po(chain, "r")
+    return builder.build(), left, chain
+
+
+class TestConflictLimit:
+    def test_tiny_budget_yields_unknowns(self):
+        net, left, chain = parity_pair_network()
+        engine = SweepEngine(
+            net,
+            None,
+            SweepConfig(seed=1, sat_conflict_limit=1, random_width=32),
+        )
+        result = engine.run()
+        # Parity equivalence needs conflicts; with budget 1 the solver must
+        # give up on at least one pair (counted, class isolated).
+        assert result.metrics.unknown >= 1
+        assert result.classes.splittable() == []
+
+    def test_generous_budget_proves_parity(self):
+        net, left, chain = parity_pair_network()
+        engine = SweepEngine(
+            net,
+            None,
+            SweepConfig(seed=1, sat_conflict_limit=None, random_width=32),
+        )
+        result = engine.run()
+        assert result.metrics.unknown == 0
+        pairs = {frozenset((a, b)) for a, b, _ in result.equivalences}
+        assert frozenset((left, chain)) in pairs
+
+
+class TestDegenerateNetworks:
+    def test_no_gates(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        builder.po(a)
+        net = builder.build()
+        engine = SweepEngine(net, None, SweepConfig(seed=1))
+        result = engine.run()
+        assert result.metrics.sat_calls == 0
+        assert result.metrics.final_cost == 0
+
+    def test_single_gate(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        builder.po(builder.and_(a, b))
+        net = builder.build()
+        result = SweepEngine(net, None, SweepConfig(seed=1)).run()
+        assert result.metrics.sat_calls == 0
+
+    def test_constant_heavy_network(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        one = builder.const(True)
+        zero = builder.const(False)
+        g1 = builder.and_(a, one)
+        g2 = builder.or_(a, zero)  # equivalent to g1
+        builder.po(g1)
+        builder.po(g2)
+        net = builder.build()
+        generator = make_generator("AI+DC+MFFC", net, seed=1)
+        result = SweepEngine(net, generator, SweepConfig(seed=1)).run()
+        assert result.classes.splittable() == []
+        pairs = {frozenset((x, y)) for x, y, _ in result.equivalences}
+        assert frozenset((g1, g2)) in pairs
+
+
+class TestMisc:
+    def test_find_by_name(self):
+        builder = NetworkBuilder()
+        a = builder.pi("clk_en")
+        g = builder.not_(a, "n_clk_en")
+        builder.po(g)
+        net = builder.build()
+        assert net.find_by_name("clk_en") == a
+        assert net.find_by_name("n_clk_en") == g
+        assert net.find_by_name("missing") is None
+
+    def test_strash_idempotent(self):
+        from repro.transforms import strash
+        from tests.conftest import random_network
+
+        net = random_network(seed=13)
+        once = strash(net)
+        twice = strash(once)
+        assert once.num_gates == twice.num_gates
+
+    def test_fig7_find_switch_helper(self):
+        from repro.experiments.fig7 import _find_switch
+
+        assert _find_switch([10, 8, 8, 8, 8, 5], patience=3) == 4
+        assert _find_switch([10, 9, 8, 7], patience=3) is None
+        assert _find_switch([], patience=3) is None
+
+
+class TestObserver:
+    def test_observer_sees_all_phases(self):
+        from tests.conftest import random_network
+
+        net = random_network(seed=4, num_inputs=5, num_gates=16)
+        events = []
+        engine = SweepEngine(
+            net,
+            make_generator("RevS", net, seed=1),
+            SweepConfig(seed=2, iterations=3),
+            observer=lambda phase, step, cost: events.append((phase, step)),
+        )
+        engine.run()
+        phases = {phase for phase, _ in events}
+        assert "random" in phases
+        assert "guided" in phases
+        guided_steps = [s for p, s in events if p == "guided"]
+        assert guided_steps == [0, 1, 2]
+
+    def test_no_observer_is_fine(self):
+        from tests.conftest import random_network
+
+        net = random_network(seed=4)
+        engine = SweepEngine(
+            net, None, SweepConfig(seed=2)
+        )
+        engine.run()  # must not raise

@@ -1,0 +1,54 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import (
+    GenerationError,
+    LogicError,
+    MappingError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    SatError,
+    SimulationError,
+    SweepError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LogicError,
+            NetworkError,
+            ParseError,
+            SimulationError,
+            SatError,
+            SweepError,
+            MappingError,
+            GenerationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            if exc is ParseError:
+                raise exc("boom")
+            raise exc("boom")
+
+    def test_parse_error_with_line(self):
+        error = ParseError("bad cover", line=12)
+        assert "line 12" in str(error)
+        assert error.line == 12
+
+    def test_parse_error_without_line(self):
+        error = ParseError("bad cover")
+        assert error.line is None
+        assert "bad cover" in str(error)
+
+    def test_catching_base_covers_subsystems(self):
+        """A downstream user can guard a whole flow with one except."""
+        from repro.logic.truthtable import TruthTable
+
+        with pytest.raises(ReproError):
+            TruthTable(2, 1 << 10)

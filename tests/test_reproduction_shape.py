@@ -1,0 +1,80 @@
+"""Headline reproduction-shape regression tests.
+
+These encode the paper's central claims as assertions over a small, fixed
+workload, so any change that silently breaks the reproduction (a weaker
+implication engine, a broken decision ranking, a sweeping regression)
+fails CI — not just the slow benchmark harness.
+"""
+
+import pytest
+
+from repro.benchgen import sweep_instance
+from repro.core import make_generator
+from repro.sweep import SweepConfig, SweepEngine
+
+#: Deep reconvergent instances where the RevS-vs-SimGen gap is robust.
+WORKLOAD = ("cps", "b15_C")
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    """(strategy -> summed metrics) over the fixed workload."""
+    totals: dict[str, dict[str, float]] = {}
+    for strategy in ("RevS", "SI+RD", "AI+DC+MFFC"):
+        agg = {"cost": 0, "sat_calls": 0, "sim_time": 0.0}
+        for name in WORKLOAD:
+            network = sweep_instance(name)
+            generator = make_generator(strategy, network, seed=42)
+            engine = SweepEngine(
+                network,
+                generator,
+                SweepConfig(seed=7, iterations=20, random_width=8),
+            )
+            classes, metrics = engine.run_simulation_phase()
+            engine.run_sat_phase(classes, metrics)
+            agg["cost"] += metrics.final_cost
+            agg["sat_calls"] += metrics.sat_calls
+            agg["sim_time"] += metrics.sim_time
+        totals[strategy] = agg
+    return totals
+
+
+class TestPaperShape:
+    def test_simgen_beats_revs_on_cost(self, sweeps):
+        """Table 1's headline: SimGen's Equation-5 cost < RevS's."""
+        assert sweeps["AI+DC+MFFC"]["cost"] < sweeps["RevS"]["cost"]
+
+    def test_each_technique_direction(self, sweeps):
+        """SI+RD already improves on RevS (the implication step §4)."""
+        assert sweeps["SI+RD"]["cost"] <= sweeps["RevS"]["cost"]
+
+    def test_simgen_needs_fewer_sat_calls(self, sweeps):
+        """Table 2's headline: fewer SAT queries after better simulation."""
+        assert sweeps["AI+DC+MFFC"]["sat_calls"] < sweeps["RevS"]["sat_calls"]
+
+    def test_gap_is_substantial(self, sweeps):
+        """The improvement must stay comparable to the paper's ~20%."""
+        revs = sweeps["RevS"]["cost"]
+        sgen = sweeps["AI+DC+MFFC"]["cost"]
+        assert sgen <= 0.9 * revs, (sgen, revs)
+
+
+class TestHybridShape:
+    def test_hybrid_escapes_random_plateau(self):
+        """Figure 7: RandS plateaus, RandS->SimGen keeps splitting (cps)."""
+        from repro.core import HybridGenerator, RandomGenerator
+
+        network = sweep_instance("cps")
+        cfg = SweepConfig(seed=3, iterations=25, random_width=8)
+
+        rand = RandomGenerator(network, seed=1)
+        _, rand_metrics = SweepEngine(network, rand, cfg).run_simulation_phase()
+
+        guided = make_generator("AI+DC+MFFC", network, seed=1)
+        hybrid = HybridGenerator(network, guided, seed=2, patience=3)
+        _, hybrid_metrics = SweepEngine(
+            network, hybrid, cfg
+        ).run_simulation_phase()
+
+        assert hybrid.switched, "hybrid never handed over to SimGen"
+        assert hybrid_metrics.final_cost < rand_metrics.final_cost

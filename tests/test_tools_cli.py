@@ -1,0 +1,150 @@
+"""The repro.tools command-line interface."""
+
+import pytest
+
+from repro.io import blif_text, read_bench, read_blif
+from repro.tools.cli import load_network, main, save_network
+from tests.conftest import networks_equal, random_network
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    net = random_network(seed=3, num_inputs=5, num_gates=14)
+    path = tmp_path / "design.blif"
+    path.write_text(blif_text(net), encoding="utf-8")
+    return net, path
+
+
+class TestLoadSave:
+    def test_roundtrip_blif(self, tmp_path):
+        net = random_network(seed=1)
+        path = tmp_path / "x.blif"
+        save_network(net, str(path))
+        assert networks_equal(net, load_network(str(path)))
+
+    def test_roundtrip_bench(self, tmp_path):
+        net = random_network(seed=1)
+        path = tmp_path / "x.bench"
+        save_network(net, str(path))
+        assert networks_equal(net, load_network(str(path)))
+
+    def test_unknown_extension(self, tmp_path):
+        net = random_network(seed=1)
+        with pytest.raises(Exception):
+            save_network(net, str(tmp_path / "x.v"))
+
+
+class TestCommands:
+    def test_stats(self, blif_file, capsys):
+        net, path = blif_file
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Parsing reconstructs only the PO cones, so compare against the
+        # re-loaded network rather than the in-memory original.
+        loaded = load_network(str(path))
+        assert f"gates  : {loaded.num_gates}" in out
+        assert f"PIs    : {len(net.pis)}" in out
+
+    def test_map_writes_functionally_equal_netlist(self, blif_file, tmp_path):
+        net, path = blif_file
+        out_path = tmp_path / "mapped.bench"
+        assert main(["map", str(path), "-o", str(out_path), "-k", "4"]) == 0
+        mapped = read_bench(out_path)
+        assert networks_equal(net, mapped)
+        assert all(n.num_fanins <= 4 for n in mapped.gates())
+
+    def test_strash(self, blif_file, tmp_path):
+        net, path = blif_file
+        out_path = tmp_path / "hashed.blif"
+        assert main(["strash", str(path), "-o", str(out_path)]) == 0
+        assert networks_equal(net, read_blif(out_path))
+
+    def test_sweep_with_reduction(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        out_path = tmp_path / "reduced.blif"
+        code = main(
+            ["sweep", str(path), "-o", str(out_path), "--iterations", "3"]
+        )
+        assert code == 0
+        assert "SAT calls" in capsys.readouterr().out
+        assert networks_equal(net, read_blif(out_path))
+
+    def test_cec_equivalent(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        other = tmp_path / "copy.blif"
+        other.write_text(blif_text(net), encoding="utf-8")
+        code = main(["cec", str(path), str(other), "--iterations", "3"])
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_cec_different_returns_nonzero(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        mutated, _ = net.map_clone()
+        victim = next(n for n in mutated.gates() if n.num_fanins == 2)
+        victim.table = ~victim.table
+        if networks_equal(net, mutated):
+            pytest.skip("mutation unobservable")
+        other = tmp_path / "bad.blif"
+        other.write_text(blif_text(mutated), encoding="utf-8")
+        code = main(["cec", str(path), str(other), "--iterations", "3"])
+        assert code == 1
+        assert "DIFFERENT" in capsys.readouterr().out
+
+    def test_putontop(self, blif_file, tmp_path):
+        net, path = blif_file
+        out_path = tmp_path / "tower.blif"
+        assert main(["putontop", str(path), "-o", str(out_path), "-n", "2"]) == 0
+        tower = read_blif(out_path)
+        loaded = load_network(str(path))
+        assert tower.num_gates >= 2 * loaded.num_gates
+        assert len(tower.pos) == len(net.pos)
+
+    def test_gen_benchmark(self, tmp_path):
+        out_path = tmp_path / "alu4.bench"
+        assert main(["gen", "alu4", "-o", str(out_path)]) == 0
+        assert read_bench(out_path).num_gates > 0
+
+    def test_error_path(self, tmp_path, capsys):
+        missing = tmp_path / "missing.v"
+        missing.write_text("", encoding="utf-8")
+        assert main(["stats", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAagSupport:
+    def test_roundtrip_aag(self, tmp_path):
+        net = random_network(seed=2)
+        path = tmp_path / "x.aag"
+        save_network(net, str(path))
+        assert networks_equal(net, load_network(str(path)))
+
+    def test_map_from_aag(self, tmp_path):
+        net = random_network(seed=2)
+        src = tmp_path / "in.aag"
+        dst = tmp_path / "out.blif"
+        save_network(net, str(src))
+        assert main(["map", str(src), "-o", str(dst), "-k", "6"]) == 0
+        assert networks_equal(net, load_network(str(dst)))
+
+
+class TestConvertAndSim:
+    def test_convert_blif_to_aag(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        out_path = tmp_path / "out.aag"
+        assert main(["convert", str(path), "-o", str(out_path)]) == 0
+        assert networks_equal(net, load_network(str(out_path)))
+
+    def test_convert_bench_to_blif(self, tmp_path):
+        net = random_network(seed=6)
+        src = tmp_path / "in.bench"
+        save_network(net, str(src))
+        dst = tmp_path / "out.blif"
+        assert main(["convert", str(src), "-o", str(dst)]) == 0
+        assert networks_equal(net, load_network(str(dst)))
+
+    def test_sim_reports_quality(self, blif_file, capsys):
+        net, path = blif_file
+        assert main(["sim", str(path), "--patterns", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "toggle rate" in out
+        assert "patterns          : 64" in out

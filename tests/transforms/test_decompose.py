@@ -1,0 +1,70 @@
+"""Shannon decomposition to bounded arity."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.logic import TruthTable
+from repro.network import NetworkBuilder, validate
+from repro.transforms import decompose_to_arity
+from tests.conftest import networks_equal, random_network
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("max_arity", [2, 3])
+    def test_function_preserved(self, seed, max_arity):
+        net = random_network(seed=seed, num_inputs=5, num_gates=14)
+        dec = decompose_to_arity(net, max_arity)
+        validate(dec)
+        assert networks_equal(net, dec)
+
+    @pytest.mark.parametrize("max_arity", [2, 3, 4])
+    def test_arity_bound_respected(self, max_arity):
+        net = random_network(seed=7, num_inputs=6, num_gates=20)
+        dec = decompose_to_arity(net, max_arity)
+        for node in dec.gates():
+            assert node.num_fanins <= max_arity
+
+    def test_narrow_gates_copied_unchanged(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g = builder.and_(a, b)
+        builder.po(g)
+        net = builder.build()
+        dec = decompose_to_arity(net, 4)
+        assert dec.num_gates == net.num_gates
+
+    def test_wide_parity_decomposed(self):
+        builder = NetworkBuilder()
+        xs = builder.pis(5)
+        g = builder.gate("xor", xs)  # one 5-input XOR gate
+        builder.po(g)
+        net = builder.build()
+        dec = decompose_to_arity(net, 2)
+        validate(dec)
+        assert networks_equal(net, dec)
+        assert all(n.num_fanins <= 2 for n in dec.gates())
+
+    def test_constant_function_collapses(self):
+        builder = NetworkBuilder()
+        xs = builder.pis(3)
+        g = builder.table(TruthTable.const(3, True), xs)
+        builder.po(g)
+        net = builder.build()
+        dec = decompose_to_arity(net, 2)
+        # three-input const gate must become a plain constant
+        consts = [n for n in dec.gates() if n.is_const]
+        assert consts
+
+    def test_min_arity_enforced(self):
+        net = random_network(seed=0)
+        with pytest.raises(NetworkError):
+            decompose_to_arity(net, 1)
+
+    def test_pi_po_interface_preserved(self):
+        net = random_network(seed=3)
+        dec = decompose_to_arity(net, 2)
+        assert [dec.node(p).name for p in dec.pis] == [
+            net.node(p).name for p in net.pis
+        ]
+        assert [n for n, _ in dec.pos] == [n for n, _ in net.pos]

@@ -1,0 +1,71 @@
+"""putontop stacking (§6.4's benchmark scaling)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import NetworkBuilder, validate
+from repro.simulation import Simulator
+from repro.transforms import put_on_top
+from tests.conftest import networks_equal, random_network
+
+
+class TestStructure:
+    def test_single_copy_is_plain_clone(self):
+        net = random_network(seed=0)
+        tower = put_on_top(net, 1)
+        validate(tower)
+        assert networks_equal(net, tower)
+
+    def test_more_outputs_than_inputs_creates_spare_pos(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        builder.po(builder.and_(a, b))
+        builder.po(builder.or_(a, b))
+        builder.po(builder.xor_(a, b))
+        net = builder.build()  # 2 PIs, 3 POs
+        tower = put_on_top(net, 2)
+        validate(tower)
+        # copy 0 consumes 2 of its 3 outputs; 1 spare + 3 top outputs.
+        assert len(tower.pos) == 4
+        assert len(tower.pis) == 2
+
+    def test_more_inputs_than_outputs_creates_new_pis(self):
+        builder = NetworkBuilder()
+        a, b, c = builder.pis(3)
+        builder.po(builder.and_(builder.and_(a, b), c))
+        net = builder.build()  # 3 PIs, 1 PO
+        tower = put_on_top(net, 3)
+        validate(tower)
+        # each extra copy adds 2 fresh PIs
+        assert len(tower.pis) == 3 + 2 + 2
+        assert len(tower.pos) == 1
+
+    def test_gate_count_scales_linearly(self):
+        net = random_network(seed=1)
+        tower = put_on_top(net, 4)
+        assert tower.num_gates == 4 * net.num_gates
+
+    def test_invalid_copies(self):
+        net = random_network(seed=0)
+        with pytest.raises(NetworkError):
+            put_on_top(net, 0)
+
+
+class TestSemantics:
+    def test_two_copy_composition(self):
+        """For a 1-PI/1-PO circuit the tower computes f(f(x))."""
+        builder = NetworkBuilder()
+        a = builder.pi()
+        g = builder.not_(a)
+        builder.po(g)
+        net = builder.build()
+        tower = put_on_top(net, 2)
+        sim = Simulator(tower)
+        for x in (0, 1):
+            values = sim.run_vector({tower.pis[0]: x})
+            assert values[tower.pos[0][1]] == x  # NOT(NOT x)
+
+    def test_depth_grows(self):
+        net = random_network(seed=2)
+        tower = put_on_top(net, 3)
+        assert tower.depth() > net.depth()

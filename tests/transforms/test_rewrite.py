@@ -1,0 +1,109 @@
+"""Function-preserving rewrites (the CEC-workload factory)."""
+
+import random
+
+import pytest
+
+from repro.network import NetworkBuilder, validate
+from repro.simulation import cone_function
+from repro.transforms import (
+    double_negate,
+    rewrite,
+    shannon_expand,
+    sop_resynthesize,
+)
+from tests.conftest import networks_equal, random_network
+
+
+class TestShannonExpand:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_function_everywhere(self, seed):
+        rng = random.Random(seed)
+        net = random_network(seed=seed)
+        gates_list = [n.uid for n in net.gates() if n.num_fanins >= 1]
+        reference, _ = net.map_clone()
+        for uid in rng.sample(gates_list, min(5, len(gates_list))):
+            node = net.node(uid)
+            shannon_expand(net, uid, rng.randrange(node.num_fanins))
+            assert networks_equal(reference, net), uid
+        validate(net)
+
+    def test_inverter_expansion(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        inv = builder.not_(a)
+        out = builder.and_(inv, b)
+        builder.po(out)
+        net = builder.build()
+        ref, _ = net.map_clone()
+        shannon_expand(net, inv, 0)
+        assert networks_equal(ref, net)
+
+
+class TestDoubleNegate:
+    def test_preserves_function(self):
+        net = random_network(seed=5)
+        ref, _ = net.map_clone()
+        rng = random.Random(0)
+        for node in list(net.gates()):
+            if node.num_fanins:
+                double_negate(net, node.uid, rng.randrange(node.num_fanins))
+        assert networks_equal(ref, net)
+
+    def test_adds_two_inverters(self, and_or_network):
+        net, ids = and_or_network
+        before = net.num_gates
+        double_negate(net, ids["out"], 0)
+        assert net.num_gates == before + 2
+
+
+class TestSopResynthesize:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_function(self, seed):
+        net = random_network(seed=seed)
+        ref, _ = net.map_clone()
+        rng = random.Random(seed)
+        gates_list = [n.uid for n in net.gates() if not n.is_const]
+        for uid in rng.sample(gates_list, min(4, len(gates_list))):
+            sop_resynthesize(net, uid)
+            assert networks_equal(ref, net), uid
+
+    def test_xor_becomes_two_level(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        x = builder.xor_(a, b)
+        builder.po(x, "f")
+        net = builder.build()
+        ref, _ = net.map_clone()
+        sop_resynthesize(net, x)
+        net.remove_dangling()
+        assert networks_equal(ref, net)
+        assert net.num_gates > 1  # expanded into AND/OR/INV structure
+
+
+class TestRewrite:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rewrite_preserves_function(self, seed):
+        net = random_network(seed=seed, num_inputs=5, num_gates=14)
+        perturbed = rewrite(net, seed=seed + 1, intensity=0.5)
+        validate(perturbed)
+        assert networks_equal(net, perturbed)
+
+    def test_rewrite_changes_structure(self):
+        net = random_network(seed=3, num_inputs=5, num_gates=14)
+        perturbed = rewrite(net, seed=4, intensity=0.5)
+        assert perturbed.num_gates != net.num_gates
+
+    def test_rewrite_deterministic(self):
+        net = random_network(seed=3)
+        a = rewrite(net, seed=9)
+        b = rewrite(net, seed=9)
+        assert a.num_gates == b.num_gates
+        assert networks_equal(a, b)
+
+    def test_pi_order_preserved(self):
+        net = random_network(seed=3)
+        perturbed = rewrite(net, seed=1)
+        assert [perturbed.node(p).name for p in perturbed.pis] == [
+            net.node(p).name for p in net.pis
+        ]

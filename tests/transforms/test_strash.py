@@ -1,0 +1,92 @@
+"""Structural hashing and cleanup."""
+
+import pytest
+
+from repro.logic import gates
+from repro.network import Network, NetworkBuilder, validate
+from repro.simulation import cone_function
+from repro.transforms import strash
+from tests.conftest import networks_equal, random_network
+
+
+class TestMerging:
+    def test_identical_gates_merged(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.and_(a, b)
+        g2 = builder.and_(a, b)
+        out = builder.or_(g1, g2)
+        builder.po(out)
+        net = builder.build()
+        hashed = strash(net)
+        # g1/g2 merge; or(x, x) then shrinks to a buffer onto the AND.
+        assert hashed.num_gates == 1
+
+    def test_different_fanin_order_not_merged(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        g1 = builder.table(gates.and_gate(2), [a, b])
+        g2 = builder.table(gates.and_gate(2), [b, a])
+        builder.po(g1)
+        builder.po(g2)
+        net = builder.build()
+        hashed = strash(net)
+        # order-sensitive hashing keeps both (function is symmetric but the
+        # strash key is structural)
+        assert hashed.num_gates == 2
+
+
+class TestConstantPropagation:
+    def test_and_with_const_true_becomes_buffer(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        one = builder.const(True)
+        g = builder.and_(a, one)
+        builder.po(g, "f")
+        net = builder.build()
+        hashed = strash(net)
+        # collapses to the PI directly
+        assert hashed.num_gates == 0
+        assert hashed.pos[0][1] == hashed.pis[0]
+
+    def test_and_with_const_false_becomes_const(self):
+        builder = NetworkBuilder()
+        a = builder.pi()
+        zero = builder.const(False)
+        g = builder.and_(a, zero)
+        builder.po(g, "f")
+        net = builder.build()
+        hashed = strash(net)
+        table, _ = cone_function(hashed, hashed.pos[0][1], max_support=2)
+        assert table.const_value() == 0
+
+    def test_degenerate_table_shrinks(self):
+        from repro.logic.truthtable import TruthTable
+
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        # f(a, b) = a  (ignores b)
+        g = builder.table(TruthTable.var(2, 0), [a, b])
+        builder.po(g)
+        net = builder.build()
+        hashed = strash(net)
+        assert hashed.num_gates == 0  # buffer collapsed onto the PI
+
+
+class TestFunctionPreservation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks(self, seed):
+        net = random_network(seed=seed)
+        hashed = strash(net)
+        validate(hashed)
+        assert networks_equal(net, hashed)
+
+    def test_dangling_removed(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        used = builder.and_(a, b)
+        builder.or_(a, b)  # dangling
+        builder.po(used)
+        net = builder.build()
+        hashed = strash(net)
+        assert hashed.num_gates == 1
