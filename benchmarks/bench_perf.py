@@ -1,0 +1,45 @@
+"""Bench: the sweep performance regression harness (BENCH_perf.json).
+
+Three ways to run it::
+
+    python benchmarks/bench_perf.py [--quick] [-o BENCH_perf.json]
+    python -m repro.tools bench [--quick]
+    pytest benchmarks/bench_perf.py --benchmark-only   # quick smoke
+
+All delegate to :mod:`repro.experiments.perfbench`, which measures
+node-evals/sec plus end-to-end sweep wall-clock for the seed, reference,
+and compiled engine variants, asserts their trajectories are
+bit-identical, and writes the report JSON.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def test_perf_quick(benchmark):
+    from repro.experiments.perfbench import run_perf_bench
+
+    report = benchmark.pedantic(
+        run_perf_bench,
+        kwargs={"quick": True, "output": None, "verbose": False},
+        rounds=1,
+        iterations=1,
+    )
+    summary = report["summary"]
+    print()
+    for row in report["workloads"]:
+        print(
+            f"{row['benchmark']:>10s} {row['strategy']:>10s} "
+            f"x{row['copies']}  {row['speedup_vs_seed']:.2f}x vs seed"
+        )
+    print(f"end-to-end: {summary['end_to_end_speedup_vs_seed']}x vs seed")
+    # Identity is asserted inside the harness; here we only require that
+    # the compiled engine is not a regression.
+    assert summary["end_to_end_speedup_vs_seed"] >= 1.0
+
+
+if __name__ == "__main__":
+    from repro.experiments.perfbench import main
+
+    sys.exit(main(sys.argv[1:]))

@@ -97,6 +97,25 @@ class DecisionEngine:
         self.alpha = alpha
         self.beta = beta
         self._mffc = MffcCache(network)
+        #: uid -> (fanins, rows); None for PIs/constants.  Lazily resolved
+        #: so row lookups skip re-hashing the truth table per decision.
+        self._node_rows: dict[
+            int, Optional[tuple[tuple[int, ...], tuple[Row, ...]]]
+        ] = {}
+
+    def _rows_at(
+        self, uid: int
+    ) -> Optional[tuple[tuple[int, ...], tuple[Row, ...]]]:
+        info = self._node_rows.get(uid, self)  # self = sentinel for "unseen"
+        if info is self:
+            node = self.network.node(uid)
+            info = (
+                None
+                if node.is_pi or node.is_const
+                else (tuple(node.fanins), rows_of(node.table))
+            )
+            self._node_rows[uid] = info
+        return info
 
     # ------------------------------------------------------------------
     # Metrics (Equations 1-4)
@@ -107,11 +126,12 @@ class DecisionEngine:
 
     def mffc_rank(self, uid: int, row: Row) -> float:
         """Equation 3: sum of MFFC depths of the row's *bound* fanins."""
-        node = self.network.node(uid)
+        info = self._rows_at(uid)
+        fanins = info[0] if info else self.network.node(uid).fanins
         rank = 0.0
         for i, lit in enumerate(row.literals()):
             if lit is not None:
-                rank += self._mffc.depth(node.fanins[i])
+                rank += self._mffc.depth(fanins[i])
         return rank
 
     def priority(self, uid: int, row: Row) -> float:
@@ -130,13 +150,14 @@ class DecisionEngine:
         Returns ``None`` if *no* row matches at all (contradiction); returns
         an empty list when the node is already fully determined.
         """
-        node = self.network.node(uid)
-        if node.is_pi or node.is_const:
+        info = self._rows_at(uid)
+        if info is None:  # PI or constant
             return []
+        fanins, rows = info
         values = assignment._values
         known_mask = 0
         known_values = 0
-        for i, f in enumerate(node.fanins):
+        for i, f in enumerate(fanins):
             v = values.get(f)
             if v is not None:
                 known_mask |= 1 << i
@@ -145,7 +166,7 @@ class DecisionEngine:
         output = values.get(uid)
         matching = [
             row
-            for row in rows_of(node.table)
+            for row in rows
             if (output is None or row.output == output)
             and not (row.cube.values ^ known_values) & (row.cube.mask & known_mask)
         ]

@@ -275,13 +275,15 @@ class SimGenGenerator(TargetedVectorGenerator):
         self, assignment: Assignment, cone: set[int], exhausted: set[int]
     ) -> Optional[int]:
         """Line 15: latest-updated cone node still needing a decision."""
+        gate_info = self.implication._gate_info  # hot path: lowered gates
+        values = assignment._values
         for uid in reversed(assignment.trail()):
             if uid not in cone or uid in exhausted:
                 continue
-            node = self.network.node(uid)
-            if node.is_pi or node.is_const:
+            info = gate_info[uid]
+            if info is None:  # PI or constant
                 continue
-            inputs, _ = assignment.pins_of(uid)
-            if any(v is None for v in inputs):
-                return uid
+            for f in info[0]:
+                if f not in values:
+                    return uid
         return None

@@ -19,6 +19,7 @@ changes, the node itself and all its fanouts are re-examined.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Optional
@@ -96,7 +97,21 @@ def _forced_pins(
 
 
 class ImplicationEngine:
-    """Runs implication fixpoints over one network + assignment."""
+    """Runs implication fixpoints over one network + assignment.
+
+    The network is lowered once at construction (same contract as the
+    compiled simulator: don't mutate it afterwards): every gate gets its
+    fanin tuple and packed truth-table rows resolved ahead of time, and
+    every node its *examiners* (itself plus its fanouts), so the fixpoint
+    loop never touches ``Network.node`` / ``fanouts`` or hashes a
+    ``TruthTable`` for an ``lru_cache`` probe.
+
+    Examination results are memoized per gate: what a gate's rows force is
+    a pure function of its (known_mask, known_values, output) pin state —
+    at most ``3 ** (k + 1)`` states for a K-input LUT — so each distinct
+    state filters the rows once per engine lifetime and every repeat is a
+    dict hit.
+    """
 
     def __init__(
         self,
@@ -105,6 +120,26 @@ class ImplicationEngine:
     ):
         self.network = network
         self.strategy = strategy
+        #: uid -> (fanins, packed rows, memo); None for PIs and constants.
+        #: memo: (known_mask, known_values, output) -> forced pins as
+        #: ((pin_index, value), ...) with pin index n = the output, or None
+        #: on contradiction.
+        self._gate_info: dict[
+            int,
+            Optional[
+                tuple[tuple[int, ...], tuple[tuple[int, int, int], ...], dict]
+            ],
+        ] = {}
+        #: uid -> (uid, *fanouts): nodes to re-examine when uid changes.
+        self._examiners: dict[int, tuple[int, ...]] = {}
+        for node in network.nodes():
+            uid = node.uid
+            self._gate_info[uid] = (
+                None
+                if node.is_pi or node.is_const
+                else (tuple(node.fanins), packed_rows(node.table), {})
+            )
+            self._examiners[uid] = (uid, *network.fanouts(uid))
 
     def examine(
         self, assignment: Assignment, uid: int
@@ -115,11 +150,11 @@ class ImplicationEngine:
         current pins).  Uses the packed-row fast path: pins are an integer
         (known_mask, known_values) pair, row matching is two AND operations.
         """
-        node = self.network.node(uid)
-        if node.is_pi or node.is_const:
+        info = self._gate_info[uid]
+        if info is None:  # PI or constant: nothing to force
             return []
+        fanins, rows, memo = info
         values = assignment._values  # hot path: direct map access
-        fanins = node.fanins
         known_mask = 0
         known_values = 0
         for i, f in enumerate(fanins):
@@ -129,11 +164,34 @@ class ImplicationEngine:
                 if v:
                     known_values |= 1 << i
         output = values.get(uid)
+        key = (known_mask, known_values, output)
+        n = len(fanins)
+        try:
+            forced = memo[key]
+        except KeyError:
+            forced = memo[key] = self._examine_state(
+                rows, n, known_mask, known_values, output
+            )
+        if forced is None:
+            return None
+        return [
+            (uid if i == n else fanins[i], value) for i, value in forced
+        ]
+
+    def _examine_state(
+        self,
+        rows: tuple[tuple[int, int, int], ...],
+        n: int,
+        known_mask: int,
+        known_values: int,
+        output: Optional[int],
+    ) -> Optional[tuple[tuple[int, int], ...]]:
+        """Uncached examination of one pin state; see :meth:`examine`."""
         if output is None and not known_mask:
-            return []  # nothing known at this node yet
+            return ()  # nothing known at this node yet
         matching = [
             row
-            for row in packed_rows(node.table)
+            for row in rows
             if (output is None or row[2] == output)
             and not (row[1] ^ known_values) & (row[0] & known_mask)
         ]
@@ -146,14 +204,14 @@ class ImplicationEngine:
             i = 0
             while forced_mask:
                 if forced_mask & 1:
-                    result.append((fanins[i], (vals >> i) & 1))
+                    result.append((i, (vals >> i) & 1))
                 forced_mask >>= 1
                 i += 1
             if output is None:
-                result.append((uid, out))
-            return result
+                result.append((n, out))  # pin n = the gate's output
+            return tuple(result)
         if self.strategy is not ImplicationStrategy.ADVANCED:
-            return []
+            return ()
         # Advanced (Def. 4.1): pins bound to the same value in EVERY
         # matching row are forced; a DC anywhere leaves the pin open.
         base_mask, base_vals, base_out = matching[0]
@@ -164,17 +222,17 @@ class ImplicationEngine:
             if out != base_out:
                 out_agree = False
             if not forced_mask and not out_agree:
-                return []
+                return ()
         i = 0
         fm = forced_mask
         while fm:
             if fm & 1:
-                result.append((fanins[i], (base_vals >> i) & 1))
+                result.append((i, (base_vals >> i) & 1))
             fm >>= 1
             i += 1
         if out_agree:
-            result.append((uid, base_out))
-        return result
+            result.append((n, base_out))
+        return tuple(result)
 
     def propagate(
         self, assignment: Assignment, seeds: Iterable[int]
@@ -186,28 +244,54 @@ class ImplicationEngine:
         pins may have changed is re-examined until no new value is forced.
         """
         outcome = ImplicationOutcome()
-        queue: list[int] = []
+        queue: deque[int] = deque()
         queued: set[int] = set()
+        examiners = self._examiners
+        gate_info = self._gate_info
+        values = assignment._values
+        changed = outcome.changed_nodes
 
-        def enqueue_examiners(changed_uid: int) -> None:
-            # The node itself (its own row constraints) and everyone reading it.
-            for cand in (changed_uid, *self.network.fanouts(changed_uid)):
+        # Each examined node's :meth:`examine` body is inlined below
+        # (shared state lookup + memo probe) — the fixpoint loop is the
+        # generator's hottest path and the per-call overhead of a million
+        # method invocations is measurable.  Semantics are identical.
+        for seed in seeds:
+            # The node itself (its own row constraints) and everyone
+            # reading it.
+            for cand in examiners[seed]:
                 if cand not in queued:
                     queued.add(cand)
                     queue.append(cand)
 
-        for seed in seeds:
-            enqueue_examiners(seed)
-
         while queue:
-            uid = queue.pop(0)
+            uid = queue.popleft()
             queued.discard(uid)
-            forced = self.examine(assignment, uid)
+            info = gate_info[uid]
+            if info is None:  # PI or constant: nothing to force
+                continue
+            fanins, rows, memo = info
+            known_mask = 0
+            known_values = 0
+            for i, f in enumerate(fanins):
+                v = values.get(f)
+                if v is not None:
+                    known_mask |= 1 << i
+                    if v:
+                        known_values |= 1 << i
+            output = values.get(uid)
+            key = (known_mask, known_values, output)
+            n = len(fanins)
+            forced = memo.get(key, False)
+            if forced is False:
+                forced = memo[key] = self._examine_state(
+                    rows, n, known_mask, known_values, output
+                )
             if forced is None:
                 outcome.conflict = True
                 outcome.conflict_node = uid
                 return outcome
-            for target, value in forced:
+            for i, value in forced:
+                target = uid if i == n else fanins[i]
                 try:
                     fresh = assignment.assign(target, value)
                 except Conflict:
@@ -219,6 +303,9 @@ class ImplicationEngine:
                     return outcome
                 if fresh:
                     outcome.assigned += 1
-                    outcome.changed_nodes.append(target)
-                    enqueue_examiners(target)
+                    changed.append(target)
+                    for cand in examiners[target]:
+                        if cand not in queued:
+                            queued.add(cand)
+                            queue.append(cand)
         return outcome

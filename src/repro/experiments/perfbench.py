@@ -1,0 +1,559 @@
+"""Performance regression harness (``BENCH_perf.json``).
+
+Every PR that touches the simulation or sweeping hot path should leave a
+fresh ``BENCH_perf.json`` at the repo root so the perf trajectory is
+tracked alongside the code.  The harness measures, on the fig5/fig6
+benchgen workloads:
+
+* **node-evals/sec** of the dict-walking :class:`Simulator` vs the
+  tape-compiled :class:`CompiledSimulator`;
+* **end-to-end sweep wall-clock** under three engine variants:
+
+  - ``seed``       — the original engine *and* the original O(2**n)-loop
+    truth-table cofactor/var ops, restored via a monkeypatch shim, so the
+    recorded baseline stays reproducible on today's hardware;
+  - ``reference``  — the original engine structure (dict simulator,
+    full-network resimulation per SAT disproof, sort-based class
+    selection) on the current library;
+  - ``compiled``   — the tape-compiled engine with batched counterexample
+    resimulation and cone-restricted recompilation.
+
+All three variants must produce **bit-identical** cost histories,
+SAT-call counts, equivalences, and final classes; the harness asserts
+this per workload and refuses to report a speedup for a run that
+diverged.  Plan caches (ISOP covers, eval plans, cofactors) are cleared
+before every measured run so each variant pays its own compile/plan
+costs, as a fresh process would.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+from repro.benchgen.suite import sweep_instance
+from repro.core.assignment import Conflict as _Conflict
+from repro.core.decision import DecisionEngine
+from repro.core.generator import SimGenGenerator
+from repro.core.implication import (
+    ImplicationEngine,
+    ImplicationOutcome,
+    ImplicationStrategy,
+)
+from repro.core.strategies import make_generator
+from repro.errors import LogicError, ReproError
+from repro.logic import cubes as _cubes
+from repro.logic import truthtable as _tt
+from repro.network.network import Network
+from repro.simulation.compiled import CompiledSimulator
+from repro.simulation.patterns import PatternBatch
+from repro.simulation import simulator as _sim_mod
+from repro.simulation.simulator import Simulator
+from repro.sweep.engine import SweepConfig, SweepEngine
+
+#: (benchmark, strategy, putontop copies).  The singles mirror Figure 5's
+#: per-benchmark comparison; the stacked instances are Figure 6's scaled
+#: flavor.  Strategies cover the cheap-generator (RandS) and the full
+#: SimGen (AI+DC+MFFC) regimes, whose sweep-time compositions differ.
+QUICK_WORKLOADS: tuple[tuple[str, str, int], ...] = (
+    ("cps", "RandS", 1),
+    ("cps", "AI+DC+MFFC", 1),
+    ("b14_C", "RandS", 1),
+    ("b14_C", "AI+DC+MFFC", 1),
+)
+
+FULL_WORKLOADS: tuple[tuple[str, str, int], ...] = QUICK_WORKLOADS + (
+    ("alu4", "RandS", 1),
+    ("alu4", "AI+DC+MFFC", 1),
+    ("apex2", "RevS", 1),
+    ("apex2", "AI+DC+MFFC", 1),
+    ("priority", "RevS", 1),
+    ("priority", "AI+DC+MFFC", 1),
+    ("cps", "AI+DC+MFFC", 2),
+    ("b14_C", "RandS", 2),
+)
+
+
+def clear_plan_caches() -> None:
+    """Drop every memoized plan so the next run pays cold-start costs."""
+    _sim_mod._eval_plan.cache_clear()
+    _cubes.rows_of.cache_clear()
+    _cubes.packed_rows.cache_clear()
+    _tt._cofactor_cached.cache_clear()
+    _tt._var_mask.cache_clear()
+
+
+@contextmanager
+def seed_baseline():
+    """Temporarily restore the seed's hot-path implementations.
+
+    The compiled-engine PR replaced the per-minterm-loop TruthTable ops
+    (``cofactor``/``depends_on``/``var``) with mask-and-shift
+    implementations, and lowered the implication/decision engines' node
+    metadata ahead of time.  This shim reinstates the original code
+    (verbatim) so the seed baseline can be re-measured at any time instead
+    of trusting a number recorded once.  Trajectories are unchanged either
+    way — the harness asserts it.
+    """
+
+    def legacy_cofactor(self, index, value):
+        if not 0 <= index < self.num_vars:
+            raise LogicError(f"variable index {index} out of range")
+        if value not in (0, 1):
+            raise LogicError(f"cofactor value must be 0/1, got {value!r}")
+        bits = 0
+        for m in range(self.size):
+            src = (m | (1 << index)) if value else (m & ~(1 << index))
+            if (self.bits >> src) & 1:
+                bits |= 1 << m
+        return _tt.TruthTable(self.num_vars, bits)
+
+    def legacy_depends_on(self, index):
+        return self.cofactor(index, 0).bits != self.cofactor(index, 1).bits
+
+    def legacy_var(cls, num_vars, index):
+        _tt._check_num_vars(num_vars)
+        if not 0 <= index < num_vars:
+            raise LogicError(
+                f"variable index {index} out of range ({num_vars} vars)"
+            )
+        bits = 0
+        for m in range(1 << num_vars):
+            if (m >> index) & 1:
+                bits |= 1 << m
+        return cls(num_vars, bits)
+
+    def legacy_examine(self, assignment, uid):
+        node = self.network.node(uid)
+        if node.is_pi or node.is_const:
+            return []
+        values = assignment._values
+        fanins = node.fanins
+        known_mask = 0
+        known_values = 0
+        for i, f in enumerate(fanins):
+            v = values.get(f)
+            if v is not None:
+                known_mask |= 1 << i
+                if v:
+                    known_values |= 1 << i
+        output = values.get(uid)
+        if output is None and not known_mask:
+            return []
+        matching = [
+            row
+            for row in _cubes.packed_rows(node.table)
+            if (output is None or row[2] == output)
+            and not (row[1] ^ known_values) & (row[0] & known_mask)
+        ]
+        if not matching:
+            return None
+        result = []
+        if len(matching) == 1:
+            mask, vals, out = matching[0]
+            forced_mask = mask & ~known_mask
+            i = 0
+            while forced_mask:
+                if forced_mask & 1:
+                    result.append((fanins[i], (vals >> i) & 1))
+                forced_mask >>= 1
+                i += 1
+            if output is None:
+                result.append((uid, out))
+            return result
+        if self.strategy is not ImplicationStrategy.ADVANCED:
+            return []
+        base_mask, base_vals, base_out = matching[0]
+        forced_mask = base_mask & ~known_mask
+        out_agree = output is None
+        for mask, vals, out in matching[1:]:
+            forced_mask &= mask & ~(vals ^ base_vals)
+            if out != base_out:
+                out_agree = False
+            if not forced_mask and not out_agree:
+                return []
+        i = 0
+        fm = forced_mask
+        while fm:
+            if fm & 1:
+                result.append((fanins[i], (base_vals >> i) & 1))
+            fm >>= 1
+            i += 1
+        if out_agree:
+            result.append((uid, base_out))
+        return result
+
+    def legacy_propagate(self, assignment, seeds):
+        outcome = ImplicationOutcome()
+        queue = []
+        queued = set()
+
+        def enqueue_examiners(changed_uid):
+            for cand in (changed_uid, *self.network.fanouts(changed_uid)):
+                if cand not in queued:
+                    queued.add(cand)
+                    queue.append(cand)
+
+        for seed_uid in seeds:
+            enqueue_examiners(seed_uid)
+        while queue:
+            uid = queue.pop(0)
+            queued.discard(uid)
+            forced = self.examine(assignment, uid)
+            if forced is None:
+                outcome.conflict = True
+                outcome.conflict_node = uid
+                return outcome
+            for target, value in forced:
+                try:
+                    fresh = assignment.assign(target, value)
+                except _Conflict:
+                    outcome.conflict = True
+                    outcome.conflict_node = target
+                    return outcome
+                if fresh:
+                    outcome.assigned += 1
+                    outcome.changed_nodes.append(target)
+                    enqueue_examiners(target)
+        return outcome
+
+    def legacy_pick_candidate(self, assignment, cone, exhausted):
+        for uid in reversed(assignment.trail()):
+            if uid not in cone or uid in exhausted:
+                continue
+            node = self.network.node(uid)
+            if node.is_pi or node.is_const:
+                continue
+            inputs, _ = assignment.pins_of(uid)
+            if any(v is None for v in inputs):
+                return uid
+        return None
+
+    def legacy_candidate_rows(self, assignment, uid):
+        node = self.network.node(uid)
+        if node.is_pi or node.is_const:
+            return []
+        values = assignment._values
+        known_mask = 0
+        known_values = 0
+        for i, f in enumerate(node.fanins):
+            v = values.get(f)
+            if v is not None:
+                known_mask |= 1 << i
+                if v:
+                    known_values |= 1 << i
+        output = values.get(uid)
+        matching = [
+            row
+            for row in _cubes.rows_of(node.table)
+            if (output is None or row.output == output)
+            and not (row.cube.values ^ known_values)
+            & (row.cube.mask & known_mask)
+        ]
+        if not matching:
+            return None
+        useful = []
+        for row in matching:
+            binds_new = bool(row.cube.mask & ~known_mask)
+            if not binds_new and output is not None:
+                return []
+            if binds_new or output is None:
+                useful.append(row)
+        return useful
+
+    def legacy_mffc_rank(self, uid, row):
+        node = self.network.node(uid)
+        rank = 0.0
+        for i, lit in enumerate(row.literals()):
+            if lit is not None:
+                rank += self._mffc.depth(node.fanins[i])
+        return rank
+
+    saved = (
+        _tt.TruthTable.cofactor,
+        _tt.TruthTable.depends_on,
+        _tt.TruthTable.var,
+        ImplicationEngine.examine,
+        ImplicationEngine.propagate,
+        SimGenGenerator._pick_candidate,
+        DecisionEngine.candidate_rows,
+        DecisionEngine.mffc_rank,
+    )
+    _tt.TruthTable.cofactor = legacy_cofactor
+    _tt.TruthTable.depends_on = legacy_depends_on
+    _tt.TruthTable.var = classmethod(legacy_var)
+    ImplicationEngine.examine = legacy_examine
+    ImplicationEngine.propagate = legacy_propagate
+    SimGenGenerator._pick_candidate = legacy_pick_candidate
+    DecisionEngine.candidate_rows = legacy_candidate_rows
+    DecisionEngine.mffc_rank = legacy_mffc_rank
+    try:
+        yield
+    finally:
+        (
+            _tt.TruthTable.cofactor,
+            _tt.TruthTable.depends_on,
+            _tt.TruthTable.var,
+            ImplicationEngine.examine,
+            ImplicationEngine.propagate,
+            SimGenGenerator._pick_candidate,
+            DecisionEngine.candidate_rows,
+            DecisionEngine.mffc_rank,
+        ) = saved
+
+
+@dataclass(slots=True)
+class SweepTrace:
+    """Everything that must match across engine variants."""
+
+    cost_history: list[int]
+    sat_calls: int
+    proven: int
+    disproven: int
+    unknown: int
+    vectors_simulated: int
+    equivalences: list[tuple[int, int, bool]]
+    classes: list[list[int]]
+    seconds: float = 0.0
+
+    def same_results(self, other: "SweepTrace") -> bool:
+        return (
+            self.cost_history == other.cost_history
+            and self.sat_calls == other.sat_calls
+            and self.proven == other.proven
+            and self.disproven == other.disproven
+            and self.unknown == other.unknown
+            and self.vectors_simulated == other.vectors_simulated
+            and self.equivalences == other.equivalences
+            and self.classes == other.classes
+        )
+
+
+def _run_sweep(
+    network: Network, strategy: str, engine: str, seed: int
+) -> SweepTrace:
+    clear_plan_caches()
+    generator = (
+        None
+        if strategy.lower() == "none"
+        else make_generator(strategy, network, seed=seed)
+    )
+    config = SweepConfig(seed=seed, engine=engine)
+    sweep = SweepEngine(network, generator, config)
+    start = time.perf_counter()
+    result = sweep.run()
+    seconds = time.perf_counter() - start
+    metrics = result.metrics
+    return SweepTrace(
+        cost_history=list(metrics.cost_history),
+        sat_calls=metrics.sat_calls,
+        proven=metrics.proven,
+        disproven=metrics.disproven,
+        unknown=metrics.unknown,
+        vectors_simulated=metrics.vectors_simulated,
+        equivalences=list(result.equivalences),
+        classes=result.classes.all_classes(),
+        seconds=seconds,
+    )
+
+
+def _measure_node_evals(
+    networks: list[Network], width: int = 64, repeats: int = 20
+) -> dict:
+    """Raw simulation throughput of both backends, in node-evals/sec."""
+    totals = {"reference": 0.0, "compiled": 0.0}
+    evals = 0
+    for network in networks:
+        batch = PatternBatch.random_for(network, width, random.Random(0))
+        words = batch.words()
+        evals += network.num_gates * repeats
+        clear_plan_caches()
+        reference = Simulator(network)
+        reference.run_words(words, width)  # plans built outside the timer
+        start = time.perf_counter()
+        for _ in range(repeats):
+            reference.run_words(words, width)
+        totals["reference"] += time.perf_counter() - start
+        compiled = CompiledSimulator(network)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            compiled.run_words(words, width)
+        totals["compiled"] += time.perf_counter() - start
+    reference_rate = evals / totals["reference"] if totals["reference"] else 0.0
+    compiled_rate = evals / totals["compiled"] if totals["compiled"] else 0.0
+    return {
+        "batch_width": width,
+        "node_evals": evals,
+        "reference_evals_per_sec": round(reference_rate),
+        "compiled_evals_per_sec": round(compiled_rate),
+        "speedup": round(compiled_rate / reference_rate, 2)
+        if reference_rate
+        else None,
+    }
+
+
+def _geomean(values: list[float]) -> Optional[float]:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return None
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def run_perf_bench(
+    quick: bool = False,
+    output: Optional[str] = "BENCH_perf.json",
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Measure the workload matrix; optionally write ``output``.
+
+    Returns the report dict.  Raises :class:`ReproError` if any engine
+    variant diverges from the seed trajectory — a perf number for a sweep
+    that computes something else is worse than no number.
+    """
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    rows = []
+    networks: dict[tuple[str, int], Network] = {}
+    for benchmark, strategy, copies in workloads:
+        key = (benchmark, copies)
+        if key not in networks:
+            networks[key] = sweep_instance(benchmark, copies=copies)
+        network = networks[key]
+        with seed_baseline():
+            seed_trace = _run_sweep(network, strategy, "reference", seed)
+        reference = _run_sweep(network, strategy, "reference", seed)
+        compiled = _run_sweep(network, strategy, "compiled", seed)
+        for label, trace in (("reference", reference), ("compiled", compiled)):
+            if not seed_trace.same_results(trace):
+                raise ReproError(
+                    f"{label} engine diverged from the seed trajectory on "
+                    f"{benchmark}/{strategy} (x{copies})"
+                )
+        row = {
+            "benchmark": benchmark,
+            "strategy": strategy,
+            "copies": copies,
+            "luts": network.num_gates,
+            "sat_calls": seed_trace.sat_calls,
+            "cost_final": seed_trace.cost_history[-1],
+            "seed_s": round(seed_trace.seconds, 4),
+            "reference_s": round(reference.seconds, 4),
+            "compiled_s": round(compiled.seconds, 4),
+            "speedup_vs_seed": round(
+                seed_trace.seconds / compiled.seconds, 2
+            )
+            if compiled.seconds
+            else None,
+            "speedup_vs_reference": round(
+                reference.seconds / compiled.seconds, 2
+            )
+            if compiled.seconds
+            else None,
+            "identical": True,
+        }
+        rows.append(row)
+        if verbose:
+            print(
+                f"{benchmark:>10s} {strategy:>10s} x{copies}  "
+                f"seed {row['seed_s']:8.3f}s  ref {row['reference_s']:8.3f}s  "
+                f"compiled {row['compiled_s']:8.3f}s  "
+                f"{row['speedup_vs_seed']:.2f}x vs seed"
+            )
+
+    node_evals = _measure_node_evals(list(networks.values()))
+    total_seed = sum(r["seed_s"] for r in rows)
+    total_reference = sum(r["reference_s"] for r in rows)
+    total_compiled = sum(r["compiled_s"] for r in rows)
+    summary = {
+        "total_seed_s": round(total_seed, 3),
+        "total_reference_s": round(total_reference, 3),
+        "total_compiled_s": round(total_compiled, 3),
+        "end_to_end_speedup_vs_seed": round(total_seed / total_compiled, 2)
+        if total_compiled
+        else None,
+        "end_to_end_speedup_vs_reference": round(
+            total_reference / total_compiled, 2
+        )
+        if total_compiled
+        else None,
+        "geomean_speedup_vs_seed": round(
+            _geomean([r["speedup_vs_seed"] or 0.0 for r in rows]) or 0.0, 2
+        ),
+        "geomean_speedup_vs_reference": round(
+            _geomean([r["speedup_vs_reference"] or 0.0 for r in rows]) or 0.0,
+            2,
+        ),
+    }
+    report = {
+        "schema": 1,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+        "node_evals_per_sec": node_evals,
+        "workloads": rows,
+        "summary": summary,
+    }
+    if verbose:
+        print(
+            f"node-evals/sec: reference "
+            f"{node_evals['reference_evals_per_sec']:,} -> compiled "
+            f"{node_evals['compiled_evals_per_sec']:,} "
+            f"({node_evals['speedup']}x); end-to-end sweep "
+            f"{summary['end_to_end_speedup_vs_seed']}x vs seed, "
+            f"{summary['end_to_end_speedup_vs_reference']}x vs reference"
+        )
+    if output:
+        Path(output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        if verbose:
+            print(f"wrote {output}")
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (also exposed as ``repro.tools bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_perf", description="sweep performance regression harness"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload matrix (CI smoke)"
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_perf.json",
+        help="report path ('' to skip writing)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless end-to-end speedup vs seed reaches this factor",
+    )
+    args = parser.parse_args(argv)
+    report = run_perf_bench(
+        quick=args.quick, output=args.output or None, seed=args.seed
+    )
+    if args.min_speedup is not None:
+        achieved = report["summary"]["end_to_end_speedup_vs_seed"] or 0.0
+        if achieved < args.min_speedup:
+            print(
+                f"FAIL: end-to-end speedup {achieved}x < "
+                f"required {args.min_speedup}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ into CNF.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import LogicError
@@ -26,6 +27,24 @@ MAX_VARS = 16
 def _check_num_vars(num_vars: int) -> None:
     if not 0 <= num_vars <= MAX_VARS:
         raise LogicError(f"num_vars must be in [0, {MAX_VARS}], got {num_vars}")
+
+
+#: full_mask(n) for every legal arity, precomputed (hot in cofactor/ISOP).
+_FULL_MASKS = tuple((1 << (1 << n)) - 1 for n in range(MAX_VARS + 1))
+
+
+@lru_cache(maxsize=None)
+def _var_mask(num_vars: int, index: int) -> int:
+    """Minterm mask of the projection function of input ``index``.
+
+    Bit ``m`` is set iff bit ``index`` of the minterm ``m`` is set — the
+    constant that turns cofactoring into two shifts (see :meth:`cofactor`).
+    """
+    bits = 0
+    for m in range(1 << num_vars):
+        if (m >> index) & 1:
+            bits |= 1 << m
+    return bits
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +74,7 @@ class TruthTable:
     def full_mask(num_vars: int) -> int:
         """The bitmask with every minterm of ``num_vars`` variables set."""
         _check_num_vars(num_vars)
-        return (1 << (1 << num_vars)) - 1
+        return _FULL_MASKS[num_vars]
 
     @classmethod
     def const(cls, num_vars: int, value: bool) -> "TruthTable":
@@ -68,11 +87,7 @@ class TruthTable:
         _check_num_vars(num_vars)
         if not 0 <= index < num_vars:
             raise LogicError(f"variable index {index} out of range ({num_vars} vars)")
-        bits = 0
-        for m in range(1 << num_vars):
-            if (m >> index) & 1:
-                bits |= 1 << m
-        return cls(num_vars, bits)
+        return cls(num_vars, _var_mask(num_vars, index))
 
     @classmethod
     def from_minterms(cls, num_vars: int, minterms: Iterable[int]) -> "TruthTable":
@@ -165,7 +180,13 @@ class TruthTable:
 
     def depends_on(self, index: int) -> bool:
         """True if the function actually depends on input ``index``."""
-        return self.cofactor(index, 0).bits != self.cofactor(index, 1).bits
+        if not 0 <= index < self.num_vars:
+            raise LogicError(f"variable index {index} out of range")
+        # Compare the two cofactors without materializing them: for every
+        # minterm m with bit ``index`` clear, bits[m] vs bits[m + 2**index].
+        blk = 1 << index
+        lower = _FULL_MASKS[self.num_vars] & ~_var_mask(self.num_vars, index)
+        return bool((self.bits ^ (self.bits >> blk)) & lower)
 
     def support(self) -> list[int]:
         """Indices of the inputs the function truly depends on."""
@@ -211,12 +232,7 @@ class TruthTable:
             raise LogicError(f"variable index {index} out of range")
         if value not in (0, 1):
             raise LogicError(f"cofactor value must be 0/1, got {value!r}")
-        bits = 0
-        for m in range(self.size):
-            src = (m | (1 << index)) if value else (m & ~(1 << index))
-            if (self.bits >> src) & 1:
-                bits |= 1 << m
-        return TruthTable(self.num_vars, bits)
+        return _cofactor_cached(self, index, value)
 
     def compose(self, fanin_tables: Sequence["TruthTable"]) -> "TruthTable":
         """Substitute ``fanin_tables[i]`` for input ``i``.
@@ -290,3 +306,23 @@ class TruthTable:
 
     def __str__(self) -> str:
         return f"TT<{self.num_vars}>:{self.to_hex()}"
+
+
+@lru_cache(maxsize=1 << 17)
+def _cofactor_cached(table: TruthTable, index: int, value: int) -> TruthTable:
+    """Shannon cofactor as two mask/shift operations, memoized.
+
+    Replicate the upper (``value=1``) or lower (``value=0``) half of every
+    ``2**index``-wide block over its sibling half.  Cofactoring is the inner
+    loop of ISOP extraction and the implication engine, and LUT networks
+    reuse few distinct functions, so the cache hit rate is very high.
+    """
+    blk = 1 << index
+    upper = _var_mask(table.num_vars, index)
+    if value:
+        kept = table.bits & upper
+        bits = kept | (kept >> blk)
+    else:
+        kept = table.bits & (_FULL_MASKS[table.num_vars] & ~upper)
+        bits = kept | (kept << blk)
+    return TruthTable(table.num_vars, bits)

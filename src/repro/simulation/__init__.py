@@ -10,11 +10,13 @@ from repro.simulation.bitvec import (
     width_mask,
 )
 from repro.simulation.patterns import InputVector, PatternBatch
+from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.numpy_backend import NumpySimulator
 from repro.simulation.quality import VectorQuality, batch_quality, distinguishing_power
 from repro.simulation.simulator import Simulator, cone_function, simulate
 
 __all__ = [
+    "CompiledSimulator",
     "InputVector",
     "NumpySimulator",
     "PatternBatch",

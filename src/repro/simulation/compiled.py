@@ -1,0 +1,238 @@
+"""Compiled bit-parallel simulation: the network lowered once, run many times.
+
+:class:`~repro.simulation.simulator.Simulator` walks a uid-keyed dict and
+re-derives each node's evaluation plan (an ``lru_cache`` hit on the truth
+table) on every batch.  :class:`CompiledSimulator` pays those costs once at
+construction instead:
+
+* nodes are assigned **dense slot indices** in topological order — the run
+  loop reads and writes a flat list, never a dict keyed by uid;
+* each gate's ISOP evaluation plan is resolved **ahead of time** into cube
+  operands over fanin slots (no per-batch ``TruthTable`` hashing);
+* **constants are folded**: constant gates — and gates whose cubes resolve
+  against constant fanins — become compile-time 0/1 slots, and their
+  literals disappear from downstream cubes;
+* the tape is then lowered to a **straight-line Python function** (one
+  expression per gate, built with ``compile``/``exec``), which removes the
+  remaining per-node interpreter dispatch.  Networks larger than
+  :data:`CODEGEN_NODE_LIMIT` fall back to interpreting the tape directly.
+
+With ``targets=`` the compiler restricts the tape to the union of the
+targets' fanin cones, so a sweep refining a shrinking candidate set never
+simulates logic outside the classes it still cares about.  Only the cone's
+PIs are then required in ``run_words`` and only cone nodes appear in the
+result.
+
+Results are bit-identical to :class:`Simulator` on every compiled node
+(checked by the cross-backend property suite in
+``tests/simulation/test_cross_backend.py``).  The network must not be
+mutated after compilation, the same implicit contract as ``Simulator``'s
+cached topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.network.network import Network
+from repro.network.traversal import cone_topological_order
+from repro.simulation.bitvec import width_mask
+from repro.simulation.patterns import PatternBatch
+from repro.simulation.simulator import _eval_plan
+
+#: Above this many compiled nodes the generated source is no longer cheap to
+#: ``compile()``; fall back to interpreting the instruction tape.
+CODEGEN_NODE_LIMIT = 30000
+
+
+class CompiledSimulator:
+    """Simulates a fixed network via a pre-lowered instruction tape.
+
+    Args:
+        network: The network to compile.
+        targets: Optional node ids; when given, only the union of their
+            fanin cones is compiled (and simulated, and returned).
+    """
+
+    def __init__(self, network: Network, targets: Optional[Iterable[int]] = None):
+        self.network = network
+        if targets is None:
+            order = network.topological_order()
+        else:
+            roots = sorted(set(targets))
+            for uid in roots:
+                network.node(uid)  # existence check
+            order = cone_topological_order(network, roots)
+        self._uids: tuple[int, ...] = tuple(order)
+        slot_of = {uid: slot for slot, uid in enumerate(order)}
+
+        pis: list[int] = []  # uids, in compiled order
+        pi_slots: list[int] = []
+        const_bits: dict[int, int] = {}  # slot -> folded 0/1
+        # Tape op: (slot, complement, cubes); each cube is (pos, neg) slot
+        # tuples — AND of the positives and negated negatives, OR over cubes.
+        tape: list[tuple[int, bool, tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]]] = []
+
+        for uid in order:
+            node = network.node(uid)
+            slot = slot_of[uid]
+            if node.is_pi:
+                pis.append(uid)
+                pi_slots.append(slot)
+                continue
+            if node.is_const:
+                const_bits[slot] = 1 if node.table.bits else 0
+                continue
+            complement, plan_cubes = _eval_plan(node.table)
+            fanin_slots = [slot_of[f] for f in node.fanins]
+            cubes: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+            universal = False
+            for cube_mask, cube_values in plan_cubes:
+                pos: list[int] = []
+                neg: list[int] = []
+                contradicted = False
+                i = 0
+                m = cube_mask
+                while m:
+                    if m & 1:
+                        want = (cube_values >> i) & 1
+                        fslot = fanin_slots[i]
+                        folded = const_bits.get(fslot)
+                        if folded is not None:
+                            if folded != want:
+                                contradicted = True
+                                break
+                            # Literal satisfied at compile time; drop it.
+                        elif want:
+                            pos.append(fslot)
+                        else:
+                            neg.append(fslot)
+                    m >>= 1
+                    i += 1
+                if contradicted:
+                    continue  # cube can never fire
+                if not pos and not neg:
+                    universal = True  # cube fires on every pattern
+                    break
+                cubes.append((tuple(pos), tuple(neg)))
+            if universal:
+                const_bits[slot] = 0 if complement else 1
+            elif not cubes:
+                const_bits[slot] = 1 if complement else 0
+            else:
+                tape.append((slot, complement, tuple(cubes)))
+
+        self._pis: tuple[int, ...] = tuple(pis)
+        self._pi_slots: tuple[int, ...] = tuple(pi_slots)
+        self._const_bits: dict[int, int] = const_bits
+        self._tape = tuple(tape)
+        self._fn = (
+            self._codegen() if len(order) <= CODEGEN_NODE_LIMIT else None
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (benchmarks and tests)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Compiled nodes (PIs + constants + gate ops)."""
+        return len(self._uids)
+
+    @property
+    def num_gate_ops(self) -> int:
+        """Gate evaluations executed per batch."""
+        return len(self._tape)
+
+    @property
+    def num_folded(self) -> int:
+        """Slots resolved to compile-time constants."""
+        return len(self._const_bits)
+
+    @property
+    def compiled_pis(self) -> tuple[int, ...]:
+        """PIs the tape reads (the cone PIs when ``targets`` was given)."""
+        return self._pis
+
+    # ------------------------------------------------------------------
+    # Lowering to Python source
+    # ------------------------------------------------------------------
+    def _codegen(self):
+        lines = ["def _compiled_sim(pi_words, mask):"]
+        for k, slot in enumerate(self._pi_slots):
+            lines.append(f"    v{slot} = pi_words[{k}] & mask")
+        for slot, bit in self._const_bits.items():
+            lines.append(f"    v{slot} = mask" if bit else f"    v{slot} = 0")
+        for slot, complement, cubes in self._tape:
+            terms = []
+            for pos, neg in cubes:
+                lits = [f"v{s}" for s in pos] + [f"~v{s}" for s in neg]
+                terms.append("(mask & " + " & ".join(lits) + ")")
+            expr = " | ".join(terms)
+            if complement:
+                expr = f"mask ^ ({expr})"
+            lines.append(f"    v{slot} = {expr}")
+        result = ", ".join(f"v{slot}" for slot in range(len(self._uids)))
+        lines.append(f"    return ({result}{',' if len(self._uids) == 1 else ''})")
+        namespace: dict[str, object] = {}
+        exec(compile("\n".join(lines), "<compiled-simulator>", "exec"), namespace)
+        return namespace["_compiled_sim"]
+
+    def _run_tape(self, pi_list: list[int], mask: int) -> list[int]:
+        values = [0] * len(self._uids)
+        for k, slot in enumerate(self._pi_slots):
+            values[slot] = pi_list[k] & mask
+        for slot, bit in self._const_bits.items():
+            values[slot] = mask if bit else 0
+        for slot, complement, cubes in self._tape:
+            result = 0
+            for pos, neg in cubes:
+                term = mask
+                for s in pos:
+                    term &= values[s]
+                if term:
+                    for s in neg:
+                        term &= ~values[s]
+                if term:
+                    result |= term
+                    if result == mask:
+                        break
+            values[slot] = (result ^ mask) if complement else result
+        return values
+
+    # ------------------------------------------------------------------
+    # Simulation API (mirrors Simulator)
+    # ------------------------------------------------------------------
+    def run_words(
+        self, pi_words: Mapping[int, int], width: int
+    ) -> dict[int, int]:
+        """Simulate packed PI words; returns node id -> packed output word.
+
+        Every *compiled* PI must be present in ``pi_words`` (all network PIs
+        without ``targets``; only the cone PIs with them).  Extra entries are
+        ignored.  Only compiled nodes appear in the result.
+        """
+        if width < 0:
+            raise SimulationError("width must be >= 0")
+        mask = width_mask(width)
+        try:
+            pi_list = [pi_words[pi] for pi in self._pis]
+        except KeyError as exc:
+            raise SimulationError(f"missing word for PI {exc.args[0]}") from exc
+        if self._fn is not None:
+            values = self._fn(pi_list, mask)
+        else:
+            values = self._run_tape(pi_list, mask)
+        return dict(zip(self._uids, values))
+
+    def run_batch(self, batch: PatternBatch) -> dict[int, int]:
+        """Simulate a :class:`PatternBatch`."""
+        return self.run_words(batch.words(), batch.width)
+
+    def run_vector(self, values: Mapping[int, int]) -> dict[int, int]:
+        """Simulate a single total input vector; returns node id -> 0/1."""
+        return self.run_words(values, 1)
+
+    def output_words(self, node_values: Mapping[int, int]) -> dict[str, int]:
+        """Extract PO name -> packed word from a simulation result."""
+        return {name: node_values[uid] for name, uid in self.network.pos}

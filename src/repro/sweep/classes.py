@@ -14,6 +14,7 @@ does).
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Mapping, Optional
 
 from repro.errors import SweepError
@@ -22,7 +23,16 @@ from repro.simulation.bitvec import width_mask
 
 
 class EquivalenceClasses:
-    """A partition of candidate nodes, refined by simulation signatures."""
+    """A partition of candidate nodes, refined by simulation signatures.
+
+    The Equation-5 cost is maintained incrementally (it is simply
+    ``#members - #classes``, since every class contributes ``size - 1``),
+    and a lazy max-heap work queue serves :meth:`best_splittable` — the
+    class a SAT phase should attack next — without re-sorting every class
+    on every query.  Heap entries are ``(-size, first_member, class_id)``
+    snapshots; mutated classes are re-pushed and stale snapshots discarded
+    on pop, so ``best_splittable`` always agrees with ``splittable()[0]``.
+    """
 
     def __init__(
         self,
@@ -49,6 +59,9 @@ class EquivalenceClasses:
         self._phase: dict[int, int] = {uid: 0 for uid in member_list}
         self._next_class = 1
         self.refinements = 0
+        self._work: list[tuple[int, int, int]] = []
+        if len(member_list) >= 2:
+            self._push_work(0)
 
     # ------------------------------------------------------------------
     # Queries
@@ -70,6 +83,10 @@ class EquivalenceClasses:
         if uid not in self._class_of:
             raise SweepError(f"node {uid} is not tracked")
         return sorted(self._classes[self._class_of[uid]])
+
+    def tracked(self, uid: int) -> bool:
+        """True if the node is (still) a tracked member."""
+        return uid in self._class_of
 
     def same_class(self, a: int, b: int) -> bool:
         """True if two tracked nodes currently share a class."""
@@ -105,8 +122,51 @@ class EquivalenceClasses:
         )
 
     def cost(self) -> int:
-        """Equation 5: worst-case SAT calls left, ``sum(size - 1)``."""
-        return sum(len(m) - 1 for m in self._classes.values() if m)
+        """Equation 5: worst-case SAT calls left, ``sum(size - 1)``.
+
+        O(1): classes are never empty, so the sum telescopes to
+        ``#members - #classes``.
+        """
+        return len(self._class_of) - len(self._classes)
+
+    def splittable_members(self) -> list[int]:
+        """Members of classes that still need work (size >= 2)."""
+        return [
+            uid
+            for members in self._classes.values()
+            if len(members) >= 2
+            for uid in members
+        ]
+
+    # ------------------------------------------------------------------
+    # Work queue
+    # ------------------------------------------------------------------
+    def _push_work(self, class_id: int) -> None:
+        members = self._classes.get(class_id)
+        if members is not None and len(members) >= 2:
+            heapq.heappush(
+                self._work, (-len(members), min(members), class_id)
+            )
+
+    def best_splittable(self) -> Optional[list[int]]:
+        """``splittable()[0]`` served from the work queue, or ``None``.
+
+        Amortized O(log #classes) per call: every class mutation pushes at
+        most one snapshot, and each snapshot is popped at most once.
+        """
+        work = self._work
+        while work:
+            neg_size, first, class_id = work[0]
+            members = self._classes.get(class_id)
+            if members is None or len(members) < 2:
+                heapq.heappop(work)  # resolved or shrunk to a singleton
+                continue
+            if -neg_size != len(members) or first != min(members):
+                heapq.heappop(work)  # stale snapshot; requeue current state
+                self._push_work(class_id)
+                continue
+            return sorted(members)
+        return None
 
     # ------------------------------------------------------------------
     # Refinement
@@ -160,6 +220,8 @@ class EquivalenceClasses:
                     members.discard(uid)
                     self._class_of[uid] = new_id
                 splits += 1
+                self._push_work(new_id)
+            self._push_work(class_id)
         self.refinements += 1
         return splits
 
@@ -174,6 +236,8 @@ class EquivalenceClasses:
         self._classes[class_id].discard(uid)
         if not self._classes[class_id]:
             del self._classes[class_id]
+        else:
+            self._push_work(class_id)
         del self._phase[uid]
 
     def isolate(self, uid: int) -> None:
@@ -184,6 +248,7 @@ class EquivalenceClasses:
         if len(self._classes[old]) == 1:
             return
         self._classes[old].discard(uid)
+        self._push_work(old)
         new_id = self._next_class
         self._next_class += 1
         self._classes[new_id] = {uid}

@@ -27,6 +27,7 @@ from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError
 from repro.network.network import Network
 from repro.sat.solver import SatResult
+from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.patterns import InputVector, PatternBatch
 from repro.simulation.simulator import Simulator
 from repro.sweep.checker import PairChecker
@@ -56,6 +57,24 @@ class SweepConfig:
     #: One persistent solver with selector-guarded miters (ABC-style); the
     #: fresh-solver-per-query mode exists for cross-checking.
     incremental_sat: bool = True
+    #: ``"compiled"`` simulates through the tape-compiled engine with
+    #: batched counterexample resimulation over cone-restricted tapes;
+    #: ``"reference"`` keeps the original dict-walking simulator and the
+    #: one-full-network-pass-per-disproof resimulation.  Both produce
+    #: bit-identical classes, cost histories, and SAT-call counts (the
+    #: perf harness cross-checks this); reference exists as the measured
+    #: baseline and for debugging.
+    engine: str = "compiled"
+    #: Max pending counterexamples per resimulation flush.  Pending
+    #: vectors are always flushed before the classes are next consulted,
+    #: so batching never changes results; wider batches form when several
+    #: counterexamples are queued back-to-back (e.g. via
+    #: :meth:`SweepEngine.queue_counterexample`).
+    cex_batch_width: int = 64
+    #: Recompile the resimulation tape onto the surviving splittable
+    #: members' cones when their count falls below this fraction of the
+    #: previously compiled target set (geometric => amortized-free).
+    resim_recompile_factor: float = 0.5
 
 
 @dataclass(slots=True)
@@ -117,9 +136,23 @@ class SweepEngine:
         self.network = network
         self.generator = generator
         self.config = config or SweepConfig()
-        self.simulator = Simulator(network)
+        if self.config.engine not in ("compiled", "reference"):
+            raise SweepError(
+                f"unknown engine {self.config.engine!r} "
+                "(use 'compiled' or 'reference')"
+            )
+        self._compiled = self.config.engine == "compiled"
+        self.simulator = (
+            CompiledSimulator(network) if self._compiled else Simulator(network)
+        )
         self.observer = observer
         self._rng = random.Random(self.config.seed)
+        #: Counterexamples awaiting resimulation: (total, partial, rep, member).
+        self._pending_cex: list[
+            tuple[InputVector, InputVector, Optional[int], Optional[int]]
+        ] = []
+        self._resim_sim = self.simulator
+        self._resim_targets = 0  # target-set size the resim tape was built for
 
     def _notify(self, phase: str, step: int, cost: int) -> None:
         if self.observer is not None:
@@ -146,8 +179,9 @@ class SweepEngine:
             values = self.simulator.run_batch(batch)
             classes.refine(values, batch.width)
             metrics.vectors_simulated += batch.width
-            metrics.cost_history.append(classes.cost())
-            self._notify("random", round_index, classes.cost())
+            cost = classes.cost()
+            metrics.cost_history.append(cost)
+            self._notify("random", round_index, cost)
         metrics.sim_time += time.perf_counter() - start
 
         if self.generator is None:
@@ -168,8 +202,9 @@ class SweepEngine:
             elapsed = time.perf_counter() - iter_start
             metrics.iteration_times.append(elapsed)
             metrics.sim_time += elapsed
-            metrics.cost_history.append(classes.cost())
-            self._notify("guided", iteration, classes.cost())
+            cost = classes.cost()
+            metrics.cost_history.append(cost)
+            self._notify("guided", iteration, cost)
         return classes, metrics
 
     # ------------------------------------------------------------------
@@ -186,12 +221,24 @@ class SweepEngine:
             conflict_limit=config.sat_conflict_limit,
             incremental=config.incremental_sat,
         )
+        self._pending_cex.clear()
+        self._resim_sim = self.simulator
+        self._resim_targets = classes.num_members
+        compiled = self._compiled
         start = time.perf_counter()
         while True:
-            pending = classes.splittable()
-            if not pending:
-                break
-            cls = pending[0]
+            if compiled:
+                # Flush before the classes are consulted so deferral can
+                # never change which class (or pair) is attacked next.
+                self._flush_cex(classes, metrics)
+                cls = classes.best_splittable()
+                if cls is None:
+                    break
+            else:
+                pending = classes.splittable()
+                if not pending:
+                    break
+                cls = pending[0]
             # Representative: the shallowest member (cheapest miter cones).
             rep = min(cls, key=lambda uid: (self.network.level(uid), uid))
             others = [uid for uid in cls if uid != rep]
@@ -207,16 +254,90 @@ class SweepEngine:
             elif outcome is SatResult.SAT:
                 metrics.disproven += 1
                 if config.resimulate_cex and vector is not None:
-                    self._resimulate(classes, vector, metrics)
-                if classes.same_class(rep, member):
-                    # The counterexample must separate the pair; if phases /
-                    # free PIs conspired against the split, force it.
+                    if compiled:
+                        self.queue_counterexample(vector, rep, member)
+                        if len(self._pending_cex) >= config.cex_batch_width:
+                            self._flush_cex(classes, metrics)
+                    else:
+                        self._resimulate(classes, vector, metrics)
+                        if classes.same_class(rep, member):
+                            # The counterexample must separate the pair; if
+                            # phases / free PIs conspired against the split,
+                            # force it.
+                            classes.isolate(member)
+                elif classes.same_class(rep, member):
                     classes.isolate(member)
             else:
                 metrics.unknown += 1
                 classes.isolate(member)
+        self._flush_cex(classes, metrics)
         metrics.sat_time += time.perf_counter() - start
         return result
+
+    # ------------------------------------------------------------------
+    # Counterexample resimulation
+    # ------------------------------------------------------------------
+    def queue_counterexample(
+        self,
+        vector: InputVector,
+        rep: Optional[int] = None,
+        member: Optional[int] = None,
+    ) -> None:
+        """Defer a counterexample into the pending resimulation batch.
+
+        Free PIs are completed immediately with this engine's RNG (the same
+        draw order as the reference engine's per-cex batch), so flush timing
+        never changes the simulated patterns.  When ``rep``/``member`` are
+        given, the flush forces the pair apart if refinement alone failed
+        to separate them.
+        """
+        rng = random.Random(self._rng.random())
+        total = vector.completed(self.network.pis, rng)
+        self._pending_cex.append((total, vector, rep, member))
+
+    def _flush_cex(
+        self, classes: EquivalenceClasses, metrics: SweepMetrics
+    ) -> None:
+        """Resimulate all pending counterexamples in one batch."""
+        if not self._pending_cex:
+            return
+        pending = self._pending_cex
+        self._pending_cex = []
+        batch = PatternBatch(self.network.pis)
+        for total, _, _, _ in pending:
+            batch.add_vector(total)
+        values = self._resim_simulator(classes).run_batch(batch)
+        classes.refine(values, batch.width)
+        metrics.vectors_simulated += batch.width
+        for _, partial, rep, member in pending:
+            # Counterexamples make good seeds for neighbourhood generators
+            # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
+            if self.generator is not None and hasattr(
+                self.generator, "set_seed_vector"
+            ):
+                self.generator.set_seed_vector(partial)
+            if (
+                rep is not None
+                and member is not None
+                and classes.tracked(rep)
+                and classes.tracked(member)
+                and classes.same_class(rep, member)
+            ):
+                classes.isolate(member)
+
+    def _resim_simulator(self, classes: EquivalenceClasses):
+        """The simulator used for counterexample resimulation.
+
+        Only members of classes of size >= 2 can still split, so the tape
+        is recompiled onto their (shrinking) fanin cones whenever the
+        splittable member count halves.
+        """
+        members = classes.splittable_members()
+        threshold = self._resim_targets * self.config.resim_recompile_factor
+        if members and len(members) <= threshold:
+            self._resim_sim = CompiledSimulator(self.network, targets=members)
+            self._resim_targets = len(members)
+        return self._resim_sim
 
     def _resimulate(
         self,
@@ -224,6 +345,7 @@ class SweepEngine:
         vector: InputVector,
         metrics: SweepMetrics,
     ) -> None:
+        """Reference-mode resimulation: one full-network pass per cex."""
         batch = PatternBatch(self.network.pis, random.Random(self._rng.random()))
         batch.add_vector(vector)
         values = self.simulator.run_batch(batch)

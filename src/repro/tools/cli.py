@@ -11,6 +11,8 @@ Commands operate on BLIF or .bench files (format chosen by extension):
 * ``cec     <a> <b>``                  — equivalence check two netlists
 * ``putontop <in> -o <out> -n N``      — stack N copies (&putontop)
 * ``gen     <benchmark> -o <out>``     — emit a suite benchmark as a file
+* ``bench   [--quick]``                — perf regression harness
+                                          (writes ``BENCH_perf.json``)
 
 Example::
 
@@ -200,6 +202,19 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the whole experiment stack.
+    from repro.experiments.perfbench import main as bench_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["-o", args.output, "--seed", str(args.seed)]
+    if args.min_speedup is not None:
+        forwarded += ["--min-speedup", str(args.min_speedup)]
+    return bench_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools", description="SimGen netlist utilities"
@@ -259,6 +274,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--patterns", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_sim)
+
+    p = sub.add_parser("bench", help="sweep performance regression harness")
+    p.add_argument("--quick", action="store_true", help="CI smoke subset")
+    p.add_argument("-o", "--output", default="BENCH_perf.json")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless end-to-end speedup vs seed reaches this factor",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     try:

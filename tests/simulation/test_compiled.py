@@ -1,0 +1,148 @@
+"""CompiledSimulator: bit-identical to Simulator, plus compile-time folding."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import NetworkBuilder
+from repro.simulation import CompiledSimulator, PatternBatch, Simulator
+from repro.simulation.compiled import CODEGEN_NODE_LIMIT
+from tests.conftest import random_network
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_networks(self, seed):
+        net = random_network(seed=seed, num_inputs=6, num_gates=20)
+        batch = PatternBatch.random_for(net, 100, random.Random(seed))
+        expected = Simulator(net).run_batch(batch)
+        actual = CompiledSimulator(net).run_batch(batch)
+        assert actual == expected
+
+    @pytest.mark.parametrize("width", [0, 1, 63, 64, 65, 130])
+    def test_partial_width_masking(self, width):
+        net = random_network(seed=3, num_inputs=5, num_gates=15)
+        rng = random.Random(width)
+        # Deliberately oversized PI words: bits above `width` must be masked.
+        words = {pi: rng.getrandbits(192) for pi in net.pis}
+        expected = Simulator(net).run_words(words, width)
+        actual = CompiledSimulator(net).run_words(words, width)
+        assert actual == expected
+
+    def test_run_vector_and_output_words(self, and_or_network):
+        net, ids = and_or_network
+        sim = CompiledSimulator(net)
+        out = sim.run_vector({ids["a"]: 1, ids["b"]: 1, ids["c"]: 0})
+        assert out[ids["out"]] == 1
+        batch = PatternBatch.random_for(net, 16, random.Random(0))
+        values = sim.run_batch(batch)
+        assert sim.output_words(values) == Simulator(net).output_words(
+            Simulator(net).run_batch(batch)
+        )
+
+
+class TestConstantFolding:
+    def build_with_consts(self):
+        builder = NetworkBuilder()
+        a, b = builder.pis(2)
+        one = builder.const(True)
+        zero = builder.const(False)
+        g1 = builder.and_(a, one)       # folds to a
+        g2 = builder.or_(b, zero)       # folds to b
+        g3 = builder.and_(g1, zero)     # folds to constant 0
+        g4 = builder.or_(g2, one)       # folds to constant 1
+        out = builder.xor_(g3, g4)
+        builder.po(out)
+        return builder.build(), (a, b, one, zero, g1, g2, g3, g4, out)
+
+    def test_folded_constants_bit_identical(self):
+        net, _ = self.build_with_consts()
+        batch = PatternBatch.random_for(net, 64, random.Random(1))
+        assert CompiledSimulator(net).run_batch(batch) == Simulator(
+            net
+        ).run_batch(batch)
+
+    def test_folding_is_visible(self):
+        net, (_, _, _, _, _, _, g3, g4, _) = self.build_with_consts()
+        sim = CompiledSimulator(net)
+        # Gates whose cubes resolved against constant fanins became
+        # compile-time constants: they cost no gate ops at run time.
+        assert sim.num_folded >= 4  # one, zero, g3, g4
+        assert sim.num_gate_ops < net.num_gates
+        width = 8
+        values = sim.run_words(
+            {pi: random.Random(2).getrandbits(width) for pi in net.pis}, width
+        )
+        assert values[g3] == 0
+        assert values[g4] == (1 << width) - 1
+
+    def test_const_only_network(self):
+        builder = NetworkBuilder()
+        one = builder.const(True)
+        builder.po(one)
+        net = builder.build()
+        sim = CompiledSimulator(net)
+        assert sim.run_words({}, 5)[one] == 0b11111
+        assert sim.num_gate_ops == 0
+
+
+class TestConeRestriction:
+    def test_targets_restrict_nodes_and_pis(self, fig4_network):
+        net, ids = fig4_network
+        sim = CompiledSimulator(net, targets=[ids["x"]])
+        values = sim.run_batch(PatternBatch.random_for(net, 8, random.Random(0)))
+        # Only x's cone (m, n, x and their PIs) is simulated.
+        assert ids["x"] in values
+        assert ids["t"] not in values and ids["y"] not in values
+        assert set(sim.compiled_pis) < set(net.pis)
+
+    def test_cone_values_match_full_simulation(self, fig4_network):
+        net, ids = fig4_network
+        batch = PatternBatch.random_for(net, 64, random.Random(7))
+        full = Simulator(net).run_batch(batch)
+        cone = CompiledSimulator(net, targets=[ids["z"], ids["t"]]).run_batch(
+            batch
+        )
+        for uid, word in cone.items():
+            assert word == full[uid]
+
+    def test_cone_run_accepts_only_cone_pis(self, fig4_network):
+        net, ids = fig4_network
+        sim = CompiledSimulator(net, targets=[ids["m"]])
+        rng = random.Random(3)
+        words = {pi: rng.getrandbits(4) for pi in sim.compiled_pis}
+        out = sim.run_words(words, 4)  # non-cone PIs not required
+        assert ids["m"] in out
+
+    def test_unknown_target_rejected(self, fig4_network):
+        net, _ = fig4_network
+        with pytest.raises(Exception):
+            CompiledSimulator(net, targets=[10**9])
+
+
+class TestErrorsAndFallback:
+    def test_missing_pi_rejected(self, and_or_network):
+        net, ids = and_or_network
+        with pytest.raises(SimulationError, match="missing word"):
+            CompiledSimulator(net).run_words({ids["a"]: 1}, 1)
+
+    def test_negative_width_rejected(self, and_or_network):
+        net, _ = and_or_network
+        with pytest.raises(SimulationError):
+            CompiledSimulator(net).run_words({}, -1)
+
+    def test_tape_interpreter_matches_codegen(self, monkeypatch):
+        net = random_network(seed=11, num_inputs=6, num_gates=25)
+        batch = PatternBatch.random_for(net, 96, random.Random(11))
+        compiled = CompiledSimulator(net)
+        assert compiled._fn is not None
+        monkeypatch.setattr(
+            "repro.simulation.compiled.CODEGEN_NODE_LIMIT", 0
+        )
+        interpreted = CompiledSimulator(net)
+        assert interpreted._fn is None  # fell back to the tape interpreter
+        assert interpreted.run_batch(batch) == compiled.run_batch(batch)
+
+    def test_codegen_limit_is_sane(self):
+        assert CODEGEN_NODE_LIMIT > 1000

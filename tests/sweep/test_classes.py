@@ -180,3 +180,65 @@ class TestPartitionInvariant:
                         and a != b
                     ):
                         assert signatures[a] == signatures[b]
+
+
+class TestWorkQueue:
+    """best_splittable() must always agree with splittable()[0]."""
+
+    def test_initial_and_resolved(self):
+        net, nodes = toy_network()
+        classes = EquivalenceClasses(net, members=nodes)
+        assert classes.best_splittable() == classes.splittable()[0]
+        for uid in nodes[1:]:
+            classes.remove_member(uid)
+        assert classes.best_splittable() is None
+        assert classes.splittable() == []
+
+    def test_agrees_after_refine_isolate_remove(self):
+        rng = random.Random(5)
+        net, nodes = toy_network(num_gates=12)
+        classes = EquivalenceClasses(net, members=nodes)
+        for step in range(60):
+            op = rng.randrange(3)
+            tracked = classes.members()
+            if not tracked:
+                break
+            if op == 0:
+                sig = {n: rng.getrandbits(2) for n in tracked}
+                classes.refine(sig, width=2)
+            elif op == 1:
+                classes.isolate(rng.choice(tracked))
+            else:
+                classes.remove_member(rng.choice(tracked))
+            splittable = classes.splittable()
+            expected = splittable[0] if splittable else None
+            assert classes.best_splittable() == expected, step
+
+    def test_splittable_members(self):
+        net, nodes = toy_network(num_gates=6)
+        classes = EquivalenceClasses(net, members=nodes)
+        assert sorted(classes.splittable_members()) == sorted(nodes)
+        sig = {n: (1 if n == nodes[0] else 0) for n in nodes}
+        classes.refine(sig, width=1)
+        assert sorted(classes.splittable_members()) == sorted(nodes[1:])
+
+    def test_tracked(self):
+        net, nodes = toy_network()
+        classes = EquivalenceClasses(net, members=nodes)
+        assert classes.tracked(nodes[0])
+        classes.remove_member(nodes[0])
+        assert not classes.tracked(nodes[0])
+
+    def test_cost_matches_sum_formula_under_mutations(self):
+        rng = random.Random(9)
+        net, nodes = toy_network(num_gates=10)
+        classes = EquivalenceClasses(net, members=nodes)
+        for _ in range(40):
+            if rng.random() < 0.5 and classes.members():
+                classes.isolate(rng.choice(classes.members()))
+            elif classes.members():
+                sig = {n: rng.getrandbits(1) for n in classes.members()}
+                classes.refine(sig, width=1)
+            assert classes.cost() == sum(
+                len(c) - 1 for c in classes.all_classes()
+            )

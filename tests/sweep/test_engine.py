@@ -142,3 +142,81 @@ class TestMetrics:
 
         with pytest.raises(SweepError):
             SweepMetrics().final_cost
+
+
+class TestEngineVariants:
+    """The compiled engine must be trajectory-identical to the reference."""
+
+    def _trace(self, engine_mode, seed=3):
+        from repro.benchgen import sweep_instance
+
+        net = sweep_instance("priority")
+        engine = SweepEngine(
+            net,
+            make_generator("AI+DC+MFFC", net, seed=seed),
+            SweepConfig(seed=seed, engine=engine_mode),
+        )
+        result = engine.run()
+        return (
+            result.metrics.cost_history,
+            result.metrics.sat_calls,
+            result.metrics.proven,
+            result.metrics.disproven,
+            result.metrics.unknown,
+            result.metrics.vectors_simulated,
+            result.equivalences,
+            result.classes.all_classes(),
+        )
+
+    def test_compiled_matches_reference(self):
+        assert self._trace("compiled") == self._trace("reference")
+
+    def test_compiled_matches_reference_random_only(self):
+        net, _ = redundant_network()
+        traces = []
+        for mode in ("compiled", "reference"):
+            result = SweepEngine(
+                net, None, SweepConfig(seed=1, engine=mode)
+            ).run()
+            traces.append(
+                (result.metrics.cost_history, result.classes.all_classes())
+            )
+        assert traces[0] == traces[1]
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import SweepError
+
+        net, _ = redundant_network()
+        with pytest.raises(SweepError, match="unknown engine"):
+            SweepEngine(net, None, SweepConfig(engine="vectorized"))
+
+    def test_counterexamples_are_batched(self):
+        """Disproof counterexamples queue up and flush in one resim pass."""
+        net, (g1, g2, g3, g4) = redundant_network()
+        engine = SweepEngine(
+            net,
+            make_generator("AI+DC+MFFC", net, seed=1),
+            # No guided iterations: the near-miss pair survives simulation
+            # and must be disproven (and resimulated) in the SAT phase.
+            SweepConfig(seed=2, iterations=0, random_width=4),
+        )
+        result = engine.run()
+        assert result.metrics.disproven > 0
+        assert not engine._pending_cex  # everything flushed by the end
+        verify_equivalences(net, result.equivalences)
+
+    def test_queue_counterexample_refines_on_flush(self):
+        from repro.simulation import InputVector
+
+        net, (g1, g2, g3, g4) = redundant_network()
+        engine = SweepEngine(net, None, SweepConfig(seed=0, iterations=0))
+        result = engine.run()
+        # g4 differs from g1 at a=b=1, c=1: feed exactly that vector.
+        pis = net.pis
+        vector = InputVector({pis[0]: 1, pis[1]: 1, pis[2]: 1, pis[3]: 0})
+        engine.queue_counterexample(vector)
+        assert engine._pending_cex
+        before = result.classes.cost()
+        engine._flush_cex(result.classes, result.metrics)
+        assert not engine._pending_cex
+        assert result.classes.cost() <= before
