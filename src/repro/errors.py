@@ -33,8 +33,34 @@ class SimulationError(ReproError):
     """Inconsistent simulation request (width mismatch, unknown node, ...)."""
 
 
+class TransientSimulationError(SimulationError):
+    """A simulation failure that may succeed on retry (injected or I/O).
+
+    The sweeping engine retries these a bounded number of times before
+    degrading; any other :class:`SimulationError` propagates as a bug.
+    """
+
+
 class SatError(ReproError):
     """Malformed CNF or solver misuse."""
+
+
+class TransientSolverError(SatError):
+    """A solver failure that may succeed with a fresh solver instance.
+
+    Raised by fault-injection wrappers (and reserved for external-solver
+    crashes); :class:`~repro.sweep.checker.PairChecker` retries these with
+    a rebuilt solver before answering UNKNOWN.
+    """
+
+
+class BudgetExpired(ReproError):
+    """A resource budget (deadline / conflicts / SAT calls) ran out.
+
+    Engines catch this internally and degrade gracefully; it escapes to the
+    caller only through explicit :meth:`~repro.runtime.budget.Budget.check`
+    calls.
+    """
 
 
 class SweepError(ReproError):

@@ -62,9 +62,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", metavar="FILE", help="also dump results as JSON"
     )
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock deadline per sweep run (expired runs are "
+        "recorded as partial, never hung)",
+    )
+    parser.add_argument(
+        "--escalate", action="store_true",
+        help="retry conflict-limited pairs with growing limits",
+    )
     args = parser.parse_args(argv)
     config = _config(args)
     config.num_seeds = max(1, args.seeds)
+    config.timeout_s = args.timeout
+    if args.escalate:
+        config.max_escalations = 2
     runner = ExperimentRunner(config)
 
     chosen = args.experiment
@@ -97,5 +109,14 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def run(argv: list[str] | None = None) -> int:
+    """Interrupt-safe wrapper used by the console entry point."""
+    try:
+        return main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())

@@ -68,6 +68,13 @@ class ExperimentConfig:
     max_targets: int = 8
     #: CDCL conflict budget per pair query.
     sat_conflict_limit: Optional[int] = 20000
+    #: Wall-clock deadline per sweep run (None = unbounded).  An expired
+    #: run is recorded with ``deadline_expired`` instead of hanging.
+    timeout_s: Optional[float] = None
+    #: UNKNOWN escalation-ladder rungs per abandoned pair (0 = off).
+    max_escalations: int = 0
+    #: Conflict-limit growth factor per escalation rung.
+    escalation_factor: int = 4
     #: Generator seeds averaged per (benchmark, strategy) in Table 1.  The
     #: paper's decision-heuristic deltas are fractions of a percent; at our
     #: scale a single seed's noise exceeds them, so Table 1 supports

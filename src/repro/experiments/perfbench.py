@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import math
 import random
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -541,9 +542,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="fail unless end-to-end speedup vs seed reaches this factor",
     )
     args = parser.parse_args(argv)
-    report = run_perf_bench(
-        quick=args.quick, output=args.output or None, seed=args.seed
-    )
+    try:
+        report = run_perf_bench(
+            quick=args.quick, output=args.output or None, seed=args.seed
+        )
+    except KeyboardInterrupt:
+        # No partial report: a perf trajectory measured under an interrupt
+        # would not be comparable (see docs/ROBUSTNESS.md on why budgets
+        # are deliberately NOT used here — trajectory identity).
+        print("interrupted: no report written", file=sys.stderr)
+        return 130
     if args.min_speedup is not None:
         achieved = report["summary"]["end_to_end_speedup_vs_seed"] or 0.0
         if achieved < args.min_speedup:

@@ -15,6 +15,7 @@ from repro.benchgen.suite import sweep_instance
 from repro.core.strategies import make_generator
 from repro.experiments.config import ExperimentConfig
 from repro.network.network import Network
+from repro.runtime.budget import Budget
 from repro.sweep.engine import SweepConfig, SweepEngine
 
 
@@ -35,6 +36,9 @@ class BenchmarkRun:
     proven: int = 0
     disproven: int = 0
     unknown: int = 0
+    escalations: int = 0
+    unknown_after_escalation: int = 0
+    deadline_expired: bool = False
 
 
 class ExperimentRunner:
@@ -58,12 +62,18 @@ class ExperimentRunner:
 
     def sweep_config(self) -> SweepConfig:
         cfg = self.config
+        # A fresh Budget per run: deadlines are monotonic-clock based and
+        # must start ticking when the sweep does, not at config time.
+        budget = None if cfg.timeout_s is None else Budget(seconds=cfg.timeout_s)
         return SweepConfig(
             seed=cfg.sweep_seed,
             random_rounds=cfg.random_rounds,
             random_width=cfg.random_width,
             iterations=cfg.iterations,
             sat_conflict_limit=cfg.sat_conflict_limit,
+            budget=budget,
+            max_escalations=cfg.max_escalations,
+            escalation_factor=cfg.escalation_factor,
         )
 
     def run(
@@ -119,5 +129,8 @@ class ExperimentRunner:
             proven=metrics.proven,
             disproven=metrics.disproven,
             unknown=metrics.unknown,
+            escalations=metrics.escalations,
+            unknown_after_escalation=metrics.unknown_after_escalation,
+            deadline_expired=metrics.deadline_expired,
         )
         return self._runs[key]

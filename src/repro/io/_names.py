@@ -1,0 +1,42 @@
+"""Shared emitted-name selection for the netlist writers.
+
+Both writers used to reference every gate as ``n<uid>`` and patch primary
+outputs up with buffer alias lines (``f = BUF(n9)`` / ``.names n9 f``).
+Reparsing turns each alias into a real buffer gate, so every
+parse -> write -> parse round trip grew the network by one gate per output
+and the serialization never reached a fixed point.  Naming a gate directly
+after the (first) primary output it drives removes the alias whenever that
+name is collision-free, making round trips stable.
+"""
+
+from __future__ import annotations
+
+from repro.network.network import Network
+
+
+def gate_names(network: Network) -> dict[int, str]:
+    """Emitted name per gate uid.
+
+    A gate takes the name of the first primary output it drives unless that
+    name collides with a primary input, an already-assigned name, or some
+    other gate's ``n<uid>`` fallback; everything else keeps ``n<uid>``.
+    """
+    pi_names = {network.node(pi).label() for pi in network.pis}
+    first_po: dict[int, str] = {}
+    for po_name, uid in network.pos:
+        first_po.setdefault(uid, po_name)
+    fallbacks = {f"n{node.uid}" for node in network.gates()}
+    names: dict[int, str] = {}
+    used = set(pi_names)
+    for node in network.gates():
+        candidate = first_po.get(node.uid)
+        if (
+            candidate is not None
+            and candidate not in used
+            and candidate not in fallbacks
+        ):
+            names[node.uid] = candidate
+        else:
+            names[node.uid] = f"n{node.uid}"
+        used.add(names[node.uid])
+    return names

@@ -12,7 +12,8 @@ from __future__ import annotations
 import re
 from typing import TextIO
 
-from repro.errors import ParseError
+from repro.errors import LogicError, NetworkError, ParseError
+from repro.io._names import gate_names
 from repro.logic import gates
 from repro.logic.truthtable import TruthTable
 from repro.network.network import Network
@@ -38,9 +39,14 @@ _KINDS = {
 
 
 def parse_bench(text: str) -> Network:
-    """Parse .bench text into a network."""
-    inputs: list[str] = []
-    outputs: list[str] = []
+    """Parse .bench text into a network.
+
+    Every malformed input fails with :class:`ParseError` carrying the line
+    number of the offending (or referencing) line — lower-level
+    ``LogicError``/``NetworkError`` never escape.
+    """
+    inputs: list[tuple[str, int]] = []
+    outputs: list[tuple[str, int]] = []
     defs: dict[str, tuple[int, str, str | None, list[str]]] = {}
     for number, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -50,9 +56,9 @@ def parse_bench(text: str) -> Network:
         if io_match:
             name = io_match.group("name").strip()
             if line.startswith("INPUT"):
-                inputs.append(name)
+                inputs.append((name, number))
             else:
-                outputs.append(name)
+                outputs.append((name, number))
             continue
         gate_match = _GATE_RE.match(line)
         if not gate_match:
@@ -66,38 +72,49 @@ def parse_bench(text: str) -> Network:
 
     network = Network("bench")
     node_of: dict[str, int] = {}
-    for name in inputs:
-        node_of[name] = network.add_pi(name)
+    for name, number in inputs:
+        if name in defs:
+            raise ParseError(f"signal {name!r} is both INPUT and gate", number)
+        if name not in node_of:
+            node_of[name] = network.add_pi(name)
 
     resolving: set[str] = set()
 
-    def resolve(name: str) -> int:
+    def resolve(name: str, ref_line: int) -> int:
         if name in node_of:
             return node_of[name]
         if name not in defs:
-            raise ParseError(f"undefined signal {name!r}")
+            raise ParseError(f"undefined signal {name!r}", ref_line)
         if name in resolving:
-            raise ParseError(f"combinational cycle through {name!r}")
+            raise ParseError(
+                f"combinational cycle through {name!r}", defs[name][0]
+            )
         resolving.add(name)
         number, kind, hex_tt, args = defs[name]
-        fanins = [resolve(a) for a in args]
-        if kind == "LUT":
-            if hex_tt is None:
-                raise ParseError("LUT gate without a truth table", number)
-            table = TruthTable.from_hex(len(fanins), hex_tt[2:])
-        elif kind in ("VDD", "GND", "CONST0", "CONST1"):
-            value = kind in ("VDD", "CONST1")
-            table = TruthTable.const(0, value)
-        elif kind in _KINDS:
-            table = gates.gate(_KINDS[kind], max(1, len(fanins)))
-        else:
-            raise ParseError(f"unknown gate kind {kind!r}", number)
-        node_of[name] = network.add_gate(table, fanins, name)
+        fanins = [resolve(a, number) for a in args]
+        try:
+            if kind == "LUT":
+                if hex_tt is None:
+                    raise ParseError("LUT gate without a truth table", number)
+                table = TruthTable.from_hex(len(fanins), hex_tt[2:])
+            elif kind in ("VDD", "GND", "CONST0", "CONST1"):
+                value = kind in ("VDD", "CONST1")
+                table = TruthTable.const(0, value)
+            elif kind in _KINDS:
+                table = gates.gate(_KINDS[kind], max(1, len(fanins)))
+            else:
+                raise ParseError(f"unknown gate kind {kind!r}", number)
+            node_of[name] = network.add_gate(table, fanins, name)
+        except (LogicError, NetworkError) as exc:
+            raise ParseError(str(exc), number) from exc
         resolving.discard(name)
         return node_of[name]
 
-    for name in outputs:
-        network.add_po(resolve(name), name)
+    for name, number in outputs:
+        try:
+            network.add_po(resolve(name, number), name)
+        except (LogicError, NetworkError) as exc:
+            raise ParseError(str(exc), number) from exc
     return network
 
 
@@ -109,9 +126,11 @@ def read_bench(path) -> Network:
 
 def write_bench(network: Network, handle: TextIO) -> None:
     """Write a network in .bench LUT form."""
+    names = gate_names(network)
+
     def ref(uid: int) -> str:
         node = network.node(uid)
-        return node.label() if node.is_pi else f"n{uid}"
+        return node.label() if node.is_pi else names[uid]
 
     for pi in network.pis:
         handle.write(f"INPUT({network.node(pi).label()})\n")
@@ -120,7 +139,7 @@ def write_bench(network: Network, handle: TextIO) -> None:
     for node in network.gates():
         args = ", ".join(ref(f) for f in node.fanins)
         handle.write(
-            f"n{node.uid} = LUT 0x{node.table.to_hex()} ({args})\n"
+            f"{names[node.uid]} = LUT 0x{node.table.to_hex()} ({args})\n"
         )
     for po_name, uid in network.pos:
         if ref(uid) != po_name:

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, TextIO
 
-from repro.errors import ParseError
+from repro.errors import LogicError, NetworkError, ParseError
+from repro.io._names import gate_names
 from repro.logic.cubes import Cube, isop
 from repro.logic.truthtable import TruthTable
 from repro.network.network import Network
@@ -68,11 +69,16 @@ def _cover_to_table(
 
 
 def parse_blif(text: str) -> Network:
-    """Parse BLIF text into a network."""
+    """Parse BLIF text into a network.
+
+    Every malformed input fails with :class:`ParseError` carrying the line
+    number of the offending (or referencing) line — lower-level
+    ``LogicError``/``NetworkError`` never escape.
+    """
     lines = _join_continuations(text)
     model_name = "blif"
-    inputs: list[str] = []
-    outputs: list[str] = []
+    inputs: list[tuple[str, int]] = []
+    outputs: list[tuple[str, int]] = []
     names_blocks: list[tuple[int, list[str], list[tuple[str, str]]]] = []
     current: Optional[tuple[int, list[str], list[tuple[str, str]]]] = None
 
@@ -84,9 +90,9 @@ def parse_blif(text: str) -> Network:
             if directive == ".model":
                 model_name = tokens[1] if len(tokens) > 1 else "blif"
             elif directive == ".inputs":
-                inputs.extend(tokens[1:])
+                inputs.extend((name, number) for name in tokens[1:])
             elif directive == ".outputs":
-                outputs.extend(tokens[1:])
+                outputs.extend((name, number) for name in tokens[1:])
             elif directive == ".names":
                 if len(tokens) < 2:
                     raise ParseError(".names needs at least an output", number)
@@ -113,8 +119,12 @@ def parse_blif(text: str) -> Network:
 
     network = Network(model_name)
     node_of: dict[str, int] = {}
-    for name in inputs:
-        node_of[name] = network.add_pi(name)
+    for name, number in inputs:
+        if name not in node_of:
+            try:
+                node_of[name] = network.add_pi(name)
+            except (LogicError, NetworkError) as exc:
+                raise ParseError(str(exc), number) from exc
 
     # Resolve .names blocks in dependency order.
     block_of_output = {}
@@ -124,24 +134,33 @@ def parse_blif(text: str) -> Network:
 
     resolving: set[str] = set()
 
-    def resolve(name: str) -> int:
+    def resolve(name: str, ref_line: int) -> int:
         if name in node_of:
             return node_of[name]
         if name not in block_of_output:
-            raise ParseError(f"undefined signal {name!r}")
+            raise ParseError(f"undefined signal {name!r}", ref_line)
         if name in resolving:
-            raise ParseError(f"combinational cycle through {name!r}")
+            raise ParseError(
+                f"combinational cycle through {name!r}",
+                block_of_output[name][0],
+            )
         resolving.add(name)
         number, signals, rows = block_of_output[name]
         fanin_names = signals[:-1]
-        fanins = [resolve(f) for f in fanin_names]
-        table = _cover_to_table(rows, len(fanin_names), number)
-        node_of[name] = network.add_gate(table, fanins, name)
+        fanins = [resolve(f, number) for f in fanin_names]
+        try:
+            table = _cover_to_table(rows, len(fanin_names), number)
+            node_of[name] = network.add_gate(table, fanins, name)
+        except (LogicError, NetworkError) as exc:
+            raise ParseError(str(exc), number) from exc
         resolving.discard(name)
         return node_of[name]
 
-    for name in outputs:
-        network.add_po(resolve(name), name)
+    for name, number in outputs:
+        try:
+            network.add_po(resolve(name, number), name)
+        except (LogicError, NetworkError) as exc:
+            raise ParseError(str(exc), number) from exc
     return network
 
 
@@ -159,8 +178,10 @@ def write_blif(network: Network, handle: TextIO) -> None:
     po_labels = [name for name, _ in network.pos]
     handle.write(".outputs " + " ".join(po_labels) + "\n")
 
+    names = gate_names(network)
+
     def signal(uid: int) -> str:
-        return f"n{uid}"
+        return names[uid]
 
     def ref(uid: int) -> str:
         node = network.node(uid)

@@ -1,0 +1,21 @@
+"""Runtime governance: resource budgets and fault-injection harnesses.
+
+This package is the robustness layer under every long-running flow: a
+:class:`Budget`/:class:`Deadline` pair that sweeping, CEC, and the
+experiment harnesses poll to stop on time, and fault wrappers
+(:class:`FlakySolver`, :class:`FaultySimulator`) that chaos tests use to
+prove the engines degrade to UNKNOWN instead of to wrong answers.
+"""
+
+from repro.errors import BudgetExpired
+from repro.runtime.budget import Budget, Deadline
+from repro.runtime.faults import FaultSchedule, FaultySimulator, FlakySolver
+
+__all__ = [
+    "Budget",
+    "BudgetExpired",
+    "Deadline",
+    "FaultSchedule",
+    "FaultySimulator",
+    "FlakySolver",
+]

@@ -1,0 +1,174 @@
+"""Resource budgets for long-running flows (sweeping, CEC, experiments).
+
+A :class:`Deadline` is a monotonic-clock wall-time limit; a :class:`Budget`
+combines a deadline with total-conflict and total-SAT-call caps and can be
+nested (a child charges its parent, and expires when the parent does), so
+one run-level budget can govern every engine a flow touches.
+
+Budgets are *advisory by polling*: hot loops call the cheap
+:meth:`Budget.time_expired` every N propagations and the full
+:meth:`Budget.expired` between queries, then unwind gracefully — partial
+results stay sound because abandoned work is reported UNKNOWN, never
+guessed (see ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import BudgetExpired
+
+
+class Deadline:
+    """A wall-clock limit on the monotonic clock.
+
+    ``seconds=None`` means no limit.  The clock is injectable for tests.
+    """
+
+    __slots__ = ("_clock", "_expires_at", "seconds")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, ``None`` if unlimited (never negative)."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
+
+
+class Budget:
+    """Composable resource budget: wall clock + conflicts + SAT calls.
+
+    Engines *charge* consumed resources (:meth:`charge_conflicts`,
+    :meth:`charge_sat_call`) and *poll* :meth:`expired`.  Charges propagate
+    to the parent budget, and a child is expired whenever any of its own
+    caps or any ancestor's caps are hit.
+    """
+
+    __slots__ = (
+        "deadline",
+        "max_conflicts",
+        "max_sat_calls",
+        "conflicts_used",
+        "sat_calls_used",
+        "parent",
+    )
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        conflicts: Optional[int] = None,
+        sat_calls: Optional[int] = None,
+        parent: Optional["Budget"] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.deadline = Deadline(seconds, clock)
+        self.max_conflicts = conflicts
+        self.max_sat_calls = sat_calls
+        self.conflicts_used = 0
+        self.sat_calls_used = 0
+        self.parent = parent
+
+    # ------------------------------------------------------------------
+    def subbudget(
+        self,
+        seconds: Optional[float] = None,
+        conflicts: Optional[int] = None,
+        sat_calls: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Budget":
+        """A child budget; charges flow up, expiry flows down."""
+        return Budget(
+            seconds=seconds,
+            conflicts=conflicts,
+            sat_calls=sat_calls,
+            parent=self,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    def charge_conflicts(self, count: int) -> None:
+        if count:
+            self.conflicts_used += count
+            if self.parent is not None:
+                self.parent.charge_conflicts(count)
+
+    def charge_sat_call(self, count: int = 1) -> None:
+        if count:
+            self.sat_calls_used += count
+            if self.parent is not None:
+                self.parent.charge_sat_call(count)
+
+    # ------------------------------------------------------------------
+    def time_expired(self) -> bool:
+        """Deadline-only check — cheap enough for a solver's inner loop."""
+        budget: Optional[Budget] = self
+        while budget is not None:
+            if budget.deadline.expired():
+                return True
+            budget = budget.parent
+        return False
+
+    def exhausted_reason(self) -> Optional[str]:
+        """Which cap ran out (``None`` while headroom remains)."""
+        budget: Optional[Budget] = self
+        while budget is not None:
+            if budget.deadline.expired():
+                return "deadline"
+            if (
+                budget.max_conflicts is not None
+                and budget.conflicts_used >= budget.max_conflicts
+            ):
+                return "conflicts"
+            if (
+                budget.max_sat_calls is not None
+                and budget.sat_calls_used >= budget.max_sat_calls
+            ):
+                return "sat_calls"
+            budget = budget.parent
+        return None
+
+    def expired(self) -> bool:
+        return self.exhausted_reason() is not None
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExpired` if any cap ran out."""
+        reason = self.exhausted_reason()
+        if reason is not None:
+            raise BudgetExpired(f"budget exhausted ({reason})")
+
+    # ------------------------------------------------------------------
+    def remaining_conflicts(self) -> Optional[int]:
+        """Tightest conflict headroom across the chain (None = unlimited)."""
+        remaining: Optional[int] = None
+        budget: Optional[Budget] = self
+        while budget is not None:
+            if budget.max_conflicts is not None:
+                left = max(0, budget.max_conflicts - budget.conflicts_used)
+                remaining = left if remaining is None else min(remaining, left)
+            budget = budget.parent
+        return remaining
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Tightest wall-clock headroom across the chain (None = unlimited)."""
+        remaining: Optional[float] = None
+        budget: Optional[Budget] = self
+        while budget is not None:
+            left = budget.deadline.remaining()
+            if left is not None:
+                remaining = left if remaining is None else min(remaining, left)
+            budget = budget.parent
+        return remaining

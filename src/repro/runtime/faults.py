@@ -1,0 +1,151 @@
+"""Fault-injection wrappers for chaos-testing the sweeping stack.
+
+The wrappers sit at the two seams the engine already exposes —
+``SweepConfig.solver_factory`` and ``SweepConfig.simulator_wrapper`` — and
+misbehave on a seeded, replayable :class:`FaultSchedule`:
+
+* :class:`FlakySolver` raises :class:`~repro.errors.TransientSolverError`
+  or answers UNKNOWN instead of solving;
+* :class:`FaultySimulator` drops a batch (by raising
+  :class:`~repro.errors.TransientSimulationError`, so the caller must
+  retry) or duplicates the work of one.
+
+Neither wrapper ever *fabricates* a result: an injected UNKNOWN is a real
+legal solver outcome and a duplicated batch recomputes the same values, so
+any verdict that survives fault injection is backed by genuine solver/
+simulator work.  That is what lets the chaos suite assert soundness — see
+``docs/ROBUSTNESS.md`` ("How to write a chaos test").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import TransientSimulationError, TransientSolverError
+from repro.sat.solver import CdclSolver, SatResult
+
+
+class FaultSchedule:
+    """A seeded, shared schedule of injected fault actions.
+
+    One schedule is typically shared by every wrapper instance of a run
+    (the solver factory creates a fresh ``FlakySolver`` per rebuild, but
+    they all advance the same schedule), so a single seed replays the whole
+    fault history.
+
+    ``max_consecutive_raises`` bounds raise streaks so that a bounded-retry
+    caller always eventually gets through; set it to ``None`` to model a
+    permanently failing dependency.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        p_raise: float = 0.0,
+        p_unknown: float = 0.0,
+        p_duplicate: float = 0.0,
+        max_consecutive_raises: Optional[int] = 2,
+    ):
+        if min(p_raise, p_unknown, p_duplicate) < 0 or (
+            p_raise + p_unknown + p_duplicate
+        ) > 1:
+            raise ValueError("fault probabilities must be >= 0 and sum <= 1")
+        self._rng = random.Random(seed)
+        self.p_raise = p_raise
+        self.p_unknown = p_unknown
+        self.p_duplicate = p_duplicate
+        self.max_consecutive_raises = max_consecutive_raises
+        self.calls = 0
+        self.injected: dict[str, int] = {"raise": 0, "unknown": 0, "duplicate": 0}
+        self._raise_streak = 0
+
+    def next_action(self) -> str:
+        """Draw the next action: ``ok`` | ``raise`` | ``unknown`` | ``duplicate``."""
+        self.calls += 1
+        draw = self._rng.random()
+        if draw < self.p_raise:
+            action = "raise"
+        elif draw < self.p_raise + self.p_unknown:
+            action = "unknown"
+        elif draw < self.p_raise + self.p_unknown + self.p_duplicate:
+            action = "duplicate"
+        else:
+            action = "ok"
+        if action == "raise":
+            if (
+                self.max_consecutive_raises is not None
+                and self._raise_streak >= self.max_consecutive_raises
+            ):
+                action = "ok"
+            else:
+                self._raise_streak += 1
+        if action != "raise":
+            self._raise_streak = 0
+        if action != "ok":
+            self.injected[action] += 1
+        return action
+
+
+class FlakySolver:
+    """A :class:`CdclSolver` stand-in that fails on a seeded schedule.
+
+    On ``raise`` the solve attempt dies with a transient error (the solver
+    instance must be considered poisoned — callers recover with a *fresh*
+    solver); on ``unknown`` it gives up as if a conflict budget were hit.
+    Everything else is delegated to the wrapped solver.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[CdclSolver] = None,
+        schedule: Optional[FaultSchedule] = None,
+    ):
+        self.inner = inner if inner is not None else CdclSolver()
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        budget=None,
+    ) -> SatResult:
+        action = self.schedule.next_action()
+        if action == "raise":
+            raise TransientSolverError("injected solver fault")
+        if action == "unknown":
+            return SatResult.UNKNOWN
+        return self.inner.solve(
+            assumptions, conflict_limit=conflict_limit, budget=budget
+        )
+
+
+class FaultySimulator:
+    """A simulator wrapper that drops or duplicates batches on schedule.
+
+    ``raise`` models a dropped batch: the values are never produced and the
+    caller sees a :class:`TransientSimulationError` (the sweep engine
+    retries a bounded number of times, then degrades by skipping the
+    refinement — which can only leave classes coarser, never wrong).
+    ``duplicate`` recomputes the batch a second time and returns the second
+    result — bit-identical values, exercising idempotence of refinement.
+    """
+
+    def __init__(self, inner, schedule: Optional[FaultSchedule] = None):
+        self.inner = inner
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def run_batch(self, batch):
+        action = self.schedule.next_action()
+        if action == "raise":
+            raise TransientSimulationError("injected simulation fault")
+        values = self.inner.run_batch(batch)
+        if action == "duplicate":
+            values = self.inner.run_batch(batch)
+        return values

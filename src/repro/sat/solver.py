@@ -289,19 +289,37 @@ class CdclSolver:
         phase = self._phase[best_var]
         return 2 * best_var + (1 if phase == 0 else 0)
 
+    #: Propagations between deadline polls.  Checking wall time costs a
+    #: clock read, so the hot loop only looks every this many propagations;
+    #: the worst-case deadline overshoot is one interval of propagation.
+    BUDGET_CHECK_INTERVAL = 2048
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        budget=None,
     ) -> SatResult:
         """Run the CDCL search.
 
         Args:
             assumptions: Literals forced for this call only.
             conflict_limit: Abort with ``UNKNOWN`` after this many conflicts.
+            budget: Optional :class:`~repro.runtime.budget.Budget`.  Its
+                deadline is polled every :attr:`BUDGET_CHECK_INTERVAL`
+                propagations, its conflict headroom tightens the conflict
+                limit, and consumed conflicts are charged back on return.
         """
         if not self._ok:
             return SatResult.UNSAT
+        # Deadline / conflict headroom gate the work below; the SAT-call cap
+        # deliberately does not — admission of a new call is the caller's
+        # decision (the cap counts calls allowed to run, and this one was).
+        if budget is not None and (
+            budget.time_expired() or budget.remaining_conflicts() == 0
+        ):
+            self._model = None
+            return SatResult.UNKNOWN
         self._cancel_until(0)
         conflict = self._propagate()
         if conflict >= 0:
@@ -312,11 +330,33 @@ class CdclSolver:
         for ilit in assumption_lits:
             self._ensure_vars(_var(ilit))
 
+        if budget is not None:
+            remaining = budget.remaining_conflicts()
+            if remaining is not None and (
+                conflict_limit is None or remaining < conflict_limit
+            ):
+                conflict_limit = remaining
+        next_time_check = (
+            self.stats["propagations"] + self.BUDGET_CHECK_INTERVAL
+            if budget is not None
+            else None
+        )
+
         conflicts_seen = 0
         restart_budget = 64
         result = SatResult.UNKNOWN
         while True:
             conflict = self._propagate()
+            if (
+                next_time_check is not None
+                and self.stats["propagations"] >= next_time_check
+            ):
+                next_time_check = (
+                    self.stats["propagations"] + self.BUDGET_CHECK_INTERVAL
+                )
+                if budget.time_expired():
+                    result = SatResult.UNKNOWN
+                    break
             if conflict >= 0:
                 conflicts_seen += 1
                 self.stats["conflicts"] += 1
@@ -366,6 +406,8 @@ class CdclSolver:
             self._trail_lim.append(len(self._trail))
             self._enqueue(decision, -1)
 
+        if budget is not None:
+            budget.charge_conflicts(conflicts_seen)
         if result is SatResult.SAT:
             self._model = {
                 var: bool(self._assign[var])
@@ -393,10 +435,11 @@ def solve_cnf(
     cnf: Cnf,
     assumptions: Sequence[int] = (),
     conflict_limit: Optional[int] = None,
+    budget=None,
 ) -> tuple[SatResult, Optional[dict[int, bool]]]:
     """One-shot solve of a CNF; returns (result, model or None)."""
     solver = CdclSolver()
     solver.add_cnf(cnf)
-    result = solver.solve(assumptions, conflict_limit)
+    result = solver.solve(assumptions, conflict_limit, budget)
     model = solver.model() if result is SatResult.SAT else None
     return result, model

@@ -3,21 +3,27 @@
 CEC of two circuits (paper §2.2): place both over shared PIs in one
 *union* network, sweep it so internal equivalences are proven cheaply and
 internal differences are disproven by simulation, then resolve each output
-pair — by the sweep's verdict when available, by a direct SAT call
-otherwise.
+pair — by the sweep's verdict when available, by a SAT call through a
+:class:`PairChecker` otherwise (so every fallback call shares the sweep's
+metric accounting and budget).
+
+Verdicts are tri-state: a run cut short by a :class:`Budget` deadline or
+an interrupt reports the unresolved outputs ``"unknown"`` and sets
+``conclusive=False`` — it is **never** folded into ``"different"``.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError
 from repro.network.network import Network
-from repro.sat.solver import CdclSolver, SatResult
-from repro.sat.tseitin import pair_miter
-from repro.simulation.patterns import InputVector
+from repro.sat.solver import SatResult
+from repro.simulation.patterns import InputVector, PatternBatch
+from repro.sweep.checker import PairChecker
 from repro.sweep.engine import SweepConfig, SweepEngine, SweepMetrics
 
 
@@ -31,8 +37,20 @@ class CecResult:
     outputs: dict[str, str] = field(default_factory=dict)
     #: A distinguishing input vector if any output pair differs.
     counterexample: Optional[InputVector] = None
-    #: Metrics of the underlying sweep.
+    #: Metrics of the underlying sweep (plus the fallback miter calls).
     metrics: Optional[SweepMetrics] = None
+    #: False when any output is "unknown" (budget expiry, conflict limit,
+    #: or interrupt): the circuits were neither proven equal nor different.
+    conclusive: bool = True
+
+    @property
+    def verdict(self) -> str:
+        """``"equivalent"`` | ``"different"`` | ``"inconclusive"``."""
+        if any(state == "different" for state in self.outputs.values()):
+            return "different"
+        if not self.conclusive:
+            return "inconclusive"
+        return "equivalent"
 
 
 def union_network(network_a: Network, network_b: Network) -> tuple[
@@ -85,9 +103,11 @@ def check_equivalence(
         network_a, network_b: Circuits with matching PI/PO interfaces.
         generator_factory: ``(network, seed) -> BaseVectorGenerator`` used
             for guided simulation inside the sweep (None = random only).
-        config: Sweep configuration.
+        config: Sweep configuration; its ``budget`` (if any) governs the
+            sweep *and* the per-output fallback SAT calls.
     """
     config = config or SweepConfig()
+    budget = config.budget
     union, pairs = union_network(network_a, network_b)
     generator: Optional[BaseVectorGenerator] = None
     if generator_factory is not None:
@@ -97,25 +117,81 @@ def check_equivalence(
 
     proven = {(a, b) for a, b, comp in sweep.equivalences if not comp}
     proven |= {(b, a) for a, b in proven}
+    # A PO pair proven *complement*-equivalent differs on every input, so
+    # it resolves to "different" for free — one cheap simulation recovers
+    # a counterexample instead of a fresh SAT call.
+    comp_proven = {(a, b) for a, b, comp in sweep.equivalences if comp}
+    comp_proven |= {(b, a) for a, b in comp_proven}
+
+    # Fallback miter calls go through a PairChecker so sat_calls AND
+    # sat_time are tracked uniformly with the sweep's own SAT phase (and
+    # the incremental solver is reused across output pairs).
+    checker = PairChecker(
+        union,
+        conflict_limit=config.sat_conflict_limit,
+        incremental=config.incremental_sat,
+        budget=budget,
+        solver_factory=config.solver_factory,
+        max_retries=config.solver_retries,
+    )
 
     result = CecResult(equivalent=True, metrics=sweep.metrics)
-    for name, node_a, node_b in pairs:
-        if node_a == node_b or (node_a, node_b) in proven:
-            result.outputs[name] = "equal"
-            continue
-        cnf, encoder = pair_miter(union, node_a, node_b)
-        solver = CdclSolver()
-        solver.add_cnf(cnf)
-        outcome = solver.solve(conflict_limit=config.sat_conflict_limit)
-        sweep.metrics.sat_calls += 1
-        if outcome is SatResult.UNSAT:
-            result.outputs[name] = "equal"
-        elif outcome is SatResult.SAT:
-            result.outputs[name] = "different"
-            result.equivalent = False
-            if result.counterexample is None:
-                result.counterexample = encoder.model_to_vector(solver.model())
-        else:
-            result.outputs[name] = "unknown"
-            result.equivalent = False
+    #: One lazily simulated total vector, shared by every complement-proven
+    #: pair (any input distinguishes complements).
+    witness: Optional[tuple[InputVector, dict[int, int]]] = None
+
+    def complement_witness() -> Optional[tuple[InputVector, dict[int, int]]]:
+        nonlocal witness
+        if witness is None:
+            batch = PatternBatch(union.pis, random.Random(config.seed))
+            batch.add_random(1)
+            values = engine._sim_batch(engine.simulator, batch, sweep.metrics)
+            if values is None:
+                return None
+            witness = (batch.vector_at(0), values)
+        return witness
+
+    try:
+        for name, node_a, node_b in pairs:
+            if node_a == node_b or (node_a, node_b) in proven:
+                result.outputs[name] = "equal"
+                continue
+            if (node_a, node_b) in comp_proven:
+                result.outputs[name] = "different"
+                result.equivalent = False
+                if result.counterexample is None:
+                    data = complement_witness()
+                    if data is not None and (
+                        (data[1][node_a] ^ data[1][node_b]) & 1
+                    ):
+                        result.counterexample = data[0]
+                continue
+            if sweep.metrics.interrupted or (
+                budget is not None and budget.expired()
+            ):
+                result.outputs[name] = "unknown"
+                result.equivalent = False
+                continue
+            outcome, vector = checker.check(node_a, node_b)
+            if outcome is SatResult.UNSAT:
+                result.outputs[name] = "equal"
+            elif outcome is SatResult.SAT:
+                result.outputs[name] = "different"
+                result.equivalent = False
+                if result.counterexample is None:
+                    result.counterexample = vector
+            else:
+                result.outputs[name] = "unknown"
+                result.equivalent = False
+    except KeyboardInterrupt:
+        sweep.metrics.interrupted = True
+        for name, _, _ in pairs:
+            if name not in result.outputs:
+                result.outputs[name] = "unknown"
+                result.equivalent = False
+
+    sweep.metrics.sat_calls += checker.stats.calls
+    sweep.metrics.sat_time += checker.stats.sat_time
+    sweep.metrics.solver_retries += checker.stats.retries
+    result.conclusive = "unknown" not in result.outputs.values()
     return result

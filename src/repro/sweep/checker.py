@@ -9,18 +9,28 @@ Two modes:
   practical (and what MiniSat-inside-ABC does).
 * **Fresh**: a new solver and cone encoding per query; slower but simpler,
   kept for cross-checking the incremental path.
+
+Robustness: each query honours an optional :class:`Budget` (deadline,
+conflict, and SAT-call caps), and a :class:`TransientSolverError` from the
+solver is retried with a *fresh* solver a bounded number of times before
+the query degrades to UNKNOWN — never to a fabricated verdict.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.errors import TransientSolverError
 from repro.network.network import Network
+from repro.runtime.budget import Budget
 from repro.sat.solver import CdclSolver, SatResult
 from repro.sat.tseitin import TseitinEncoder, pair_miter
 from repro.simulation.patterns import InputVector
+
+#: Sentinel so ``check(..., conflict_limit=None)`` can mean "unbounded".
+_DEFAULT_LIMIT = object()
 
 
 @dataclass(slots=True)
@@ -32,6 +42,8 @@ class CheckerStats:
     proven: int = 0
     disproven: int = 0
     unknown: int = 0
+    #: Transient solver faults recovered by a fresh-solver retry.
+    retries: int = 0
 
 
 class PairChecker:
@@ -42,32 +54,57 @@ class PairChecker:
         network: Network,
         conflict_limit: Optional[int] = 20000,
         incremental: bool = True,
+        budget: Optional[Budget] = None,
+        solver_factory: Optional[Callable[[], CdclSolver]] = None,
+        max_retries: int = 2,
     ):
         self.network = network
         self.conflict_limit = conflict_limit
         self.incremental = incremental
+        self.budget = budget
+        self.max_retries = max_retries
+        self._solver_factory = solver_factory or CdclSolver
         self.stats = CheckerStats()
         if incremental:
-            self._solver = CdclSolver()
+            self._solver = self._solver_factory()
             self._encoder = TseitinEncoder(network)
             self._clauses_loaded = 0
 
     # ------------------------------------------------------------------
     def check(
-        self, node_a: int, node_b: int, complement: bool = False
+        self,
+        node_a: int,
+        node_b: int,
+        complement: bool = False,
+        conflict_limit=_DEFAULT_LIMIT,
     ) -> tuple[SatResult, Optional[InputVector]]:
         """One equivalence query.
 
         Returns ``(UNSAT, None)`` when the nodes are proven equivalent
         (or complement-equivalent when ``complement``), ``(SAT, vector)``
         with a distinguishing input vector otherwise, or
-        ``(UNKNOWN, None)`` at the conflict budget.
+        ``(UNKNOWN, None)`` at the conflict budget / deadline / after the
+        solver-retry budget.
+
+        Args:
+            conflict_limit: Per-call override of the checker-wide limit
+                (``None`` = unbounded); escalation ladders use this to
+                retry abandoned pairs with a larger budget.
         """
+        limit = (
+            self.conflict_limit if conflict_limit is _DEFAULT_LIMIT
+            else conflict_limit
+        )
         start = time.perf_counter()
-        if self.incremental:
-            result, vector = self._check_incremental(node_a, node_b, complement)
+        if self.budget is not None and self.budget.expired():
+            result: SatResult = SatResult.UNKNOWN
+            vector: Optional[InputVector] = None
         else:
-            result, vector = self._check_fresh(node_a, node_b, complement)
+            if self.budget is not None:
+                self.budget.charge_sat_call()
+            result, vector = self._check_with_retries(
+                node_a, node_b, complement, limit
+            )
         self.stats.calls += 1
         self.stats.sat_time += time.perf_counter() - start
         if result is SatResult.UNSAT:
@@ -78,20 +115,49 @@ class PairChecker:
             self.stats.unknown += 1
         return result, vector
 
+    def _check_with_retries(
+        self, node_a: int, node_b: int, complement: bool, limit: Optional[int]
+    ) -> tuple[SatResult, Optional[InputVector]]:
+        attempts = 0
+        while True:
+            try:
+                if self.incremental:
+                    return self._check_incremental(
+                        node_a, node_b, complement, limit
+                    )
+                return self._check_fresh(node_a, node_b, complement, limit)
+            except TransientSolverError:
+                # The failing solver is poisoned; rebuild and retry.
+                self.stats.retries += 1
+                attempts += 1
+                if self.incremental:
+                    self._rebuild_incremental()
+                if attempts > self.max_retries:
+                    return SatResult.UNKNOWN, None
+
+    def _rebuild_incremental(self) -> None:
+        """Fresh solver, re-fed every Tseitin clause encoded so far.
+
+        Selector-guarded miter clauses of past queries live only in the
+        dead solver; they were retired anyway, so dropping them is safe.
+        """
+        self._solver = self._solver_factory()
+        self._clauses_loaded = 0
+
     # ------------------------------------------------------------------
     def _check_fresh(
-        self, node_a: int, node_b: int, complement: bool
+        self, node_a: int, node_b: int, complement: bool, limit: Optional[int]
     ) -> tuple[SatResult, Optional[InputVector]]:
         cnf, encoder = pair_miter(self.network, node_a, node_b, complement)
-        solver = CdclSolver()
+        solver = self._solver_factory()
         solver.add_cnf(cnf)
-        result = solver.solve(conflict_limit=self.conflict_limit)
+        result = solver.solve(conflict_limit=limit, budget=self.budget)
         if result is SatResult.SAT:
             return result, encoder.model_to_vector(solver.model())
         return result, None
 
     def _check_incremental(
-        self, node_a: int, node_b: int, complement: bool
+        self, node_a: int, node_b: int, complement: bool, limit: Optional[int]
     ) -> tuple[SatResult, Optional[InputVector]]:
         var_a = self._encoder.encode_cone(node_a)
         var_b = self._encoder.encode_cone(node_b)
@@ -112,7 +178,7 @@ class PairChecker:
             self._solver.add_clause([-selector, var_a, var_b])
             self._solver.add_clause([-selector, -var_a, -var_b])
         result = self._solver.solve(
-            assumptions=[selector], conflict_limit=self.conflict_limit
+            assumptions=[selector], conflict_limit=limit, budget=self.budget
         )
         vector = None
         if result is SatResult.SAT:

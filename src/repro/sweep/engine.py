@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.generator import BaseVectorGenerator
-from repro.errors import SweepError
+from repro.errors import SweepError, TransientSimulationError
 from repro.network.network import Network
+from repro.runtime.budget import Budget
 from repro.sat.solver import SatResult
 from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.patterns import InputVector, PatternBatch
@@ -75,6 +76,30 @@ class SweepConfig:
     #: members' cones when their count falls below this fraction of the
     #: previously compiled target set (geometric => amortized-free).
     resim_recompile_factor: float = 0.5
+    #: Run-level resource budget (deadline / total conflicts / total SAT
+    #: calls).  ``None`` keeps the run unbounded and bit-identical to an
+    #: unbudgeted sweep; with a budget, expiry stops the run gracefully
+    #: with a sound partial result (``metrics.deadline_expired``).
+    budget: Optional[Budget] = None
+    #: UNKNOWN escalation ladder: pairs abandoned at ``sat_conflict_limit``
+    #: are queued and retried up to this many times with geometrically
+    #: growing limits (``limit * escalation_factor ** rung``) while budget
+    #: headroom remains.  0 (default) disables the ladder.
+    max_escalations: int = 0
+    #: Growth factor of the escalation ladder (20k -> 80k -> 320k at 4).
+    escalation_factor: int = 4
+    #: Solver constructor for the SAT phase (fault-injection seam; see
+    #: :class:`repro.runtime.faults.FlakySolver`).  ``None`` = CdclSolver.
+    solver_factory: Optional[Callable[[], object]] = None
+    #: Wrapper applied to every simulator the engine builds (fault seam;
+    #: see :class:`repro.runtime.faults.FaultySimulator`).
+    simulator_wrapper: Optional[Callable[[object], object]] = None
+    #: Bounded retries for a transiently failing simulator batch before
+    #: the refinement is skipped (sound: classes just stay coarser).
+    sim_retries: int = 3
+    #: Bounded fresh-solver retries for a transiently failing SAT query
+    #: before it degrades to UNKNOWN.
+    solver_retries: int = 2
 
 
 @dataclass(slots=True)
@@ -99,6 +124,22 @@ class SweepMetrics:
     disproven: int = 0
     #: Pairs abandoned at the conflict limit.
     unknown: int = 0
+    #: Escalation-ladder retry attempts issued (each is also a SAT call).
+    escalations: int = 0
+    #: Pairs still UNKNOWN after the full escalation ladder.
+    unknown_after_escalation: int = 0
+    #: True if the run was cut short by its budget; everything reported is
+    #: still sound, but unresolved pairs remain unproven.
+    deadline_expired: bool = False
+    #: True if the run was cut short by KeyboardInterrupt.
+    interrupted: bool = False
+    #: SAT seconds split per attempt rung: index 0 accumulates base-limit
+    #: attempts, index i the i-th escalation rung.
+    sat_time_per_attempt: list[float] = field(default_factory=list)
+    #: Transient simulator faults absorbed by batch retries.
+    sim_retries: int = 0
+    #: Transient solver faults absorbed by fresh-solver rebuilds.
+    solver_retries: int = 0
 
     @property
     def final_cost(self) -> int:
@@ -119,7 +160,8 @@ class SweepResult:
 
 
 #: Progress callback: (phase, step, cost) — phase is "random", "guided",
-#: or "sat"; step counts iterations/queries; cost is the current Eq. 5 cost.
+#: "sat", or "escalate"; step counts iterations/queries; cost is the
+#: current Eq. 5 cost.
 SweepObserver = Callable[[str, int, int], None]
 
 
@@ -142,7 +184,7 @@ class SweepEngine:
                 "(use 'compiled' or 'reference')"
             )
         self._compiled = self.config.engine == "compiled"
-        self.simulator = (
+        self.simulator = self._wrap_simulator(
             CompiledSimulator(network) if self._compiled else Simulator(network)
         )
         self.observer = observer
@@ -158,6 +200,27 @@ class SweepEngine:
         if self.observer is not None:
             self.observer(phase, step, cost)
 
+    def _wrap_simulator(self, sim):
+        wrapper = self.config.simulator_wrapper
+        return sim if wrapper is None else wrapper(sim)
+
+    def _sim_batch(self, sim, batch: PatternBatch, metrics: SweepMetrics):
+        """``sim.run_batch`` with bounded retry on transient faults.
+
+        Returns ``None`` when the batch had to be dropped after the retry
+        budget — callers then skip the refinement, which only leaves the
+        classes coarser (sound), never wrong.
+        """
+        attempts = 0
+        while True:
+            try:
+                return sim.run_batch(batch)
+            except TransientSimulationError:
+                metrics.sim_retries += 1
+                attempts += 1
+                if attempts > self.config.sim_retries:
+                    return None
+
     # ------------------------------------------------------------------
     # Phase 1 + 2: simulation
     # ------------------------------------------------------------------
@@ -170,41 +233,53 @@ class SweepEngine:
             include_pis=config.include_pis,
             match_complements=config.match_complements,
         )
+        budget = config.budget
         start = time.perf_counter()
-        for round_index in range(max(1, config.random_rounds)):
-            batch = PatternBatch(
-                self.network.pis, random.Random(self._rng.random())
-            )
-            batch.add_random(config.random_width)
-            values = self.simulator.run_batch(batch)
-            classes.refine(values, batch.width)
-            metrics.vectors_simulated += batch.width
-            cost = classes.cost()
-            metrics.cost_history.append(cost)
-            self._notify("random", round_index, cost)
-        metrics.sim_time += time.perf_counter() - start
-
-        if self.generator is None:
-            return classes, metrics
-
-        for iteration in range(config.iterations):
-            iter_start = time.perf_counter()
-            vectors = self.generator.generate(classes.splittable())
-            if vectors:
+        try:
+            for round_index in range(max(1, config.random_rounds)):
                 batch = PatternBatch(
                     self.network.pis, random.Random(self._rng.random())
                 )
-                for vector in vectors:
-                    batch.add_vector(vector)
-                values = self.simulator.run_batch(batch)
-                classes.refine(values, batch.width)
-                metrics.vectors_simulated += batch.width
-            elapsed = time.perf_counter() - iter_start
-            metrics.iteration_times.append(elapsed)
-            metrics.sim_time += elapsed
-            cost = classes.cost()
-            metrics.cost_history.append(cost)
-            self._notify("guided", iteration, cost)
+                batch.add_random(config.random_width)
+                values = self._sim_batch(self.simulator, batch, metrics)
+                if values is not None:
+                    classes.refine(values, batch.width)
+                    metrics.vectors_simulated += batch.width
+                cost = classes.cost()
+                metrics.cost_history.append(cost)
+                self._notify("random", round_index, cost)
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+        metrics.sim_time += time.perf_counter() - start
+
+        if self.generator is None or metrics.interrupted:
+            return classes, metrics
+
+        try:
+            for iteration in range(config.iterations):
+                if budget is not None and budget.expired():
+                    metrics.deadline_expired = True
+                    break
+                iter_start = time.perf_counter()
+                vectors = self.generator.generate(classes.splittable())
+                if vectors:
+                    batch = PatternBatch(
+                        self.network.pis, random.Random(self._rng.random())
+                    )
+                    for vector in vectors:
+                        batch.add_vector(vector)
+                    values = self._sim_batch(self.simulator, batch, metrics)
+                    if values is not None:
+                        classes.refine(values, batch.width)
+                        metrics.vectors_simulated += batch.width
+                elapsed = time.perf_counter() - iter_start
+                metrics.iteration_times.append(elapsed)
+                metrics.sim_time += elapsed
+                cost = classes.cost()
+                metrics.cost_history.append(cost)
+                self._notify("guided", iteration, cost)
+        except KeyboardInterrupt:
+            metrics.interrupted = True
         return classes, metrics
 
     # ------------------------------------------------------------------
@@ -213,66 +288,172 @@ class SweepEngine:
     def run_sat_phase(
         self, classes: EquivalenceClasses, metrics: SweepMetrics
     ) -> SweepResult:
-        """Resolve every remaining class with the CDCL solver."""
+        """Resolve every remaining class with the CDCL solver.
+
+        Budget expiry or a ``KeyboardInterrupt`` stops the phase early with
+        a *sound* partial result: proven/disproven verdicts already
+        recorded stay valid, pending counterexamples are flushed, and the
+        remaining pairs are simply left unresolved.
+        """
         config = self.config
+        budget = config.budget
         result = SweepResult(classes=classes, metrics=metrics)
+        if metrics.interrupted:
+            return result
         checker = PairChecker(
             self.network,
             conflict_limit=config.sat_conflict_limit,
             incremental=config.incremental_sat,
+            budget=budget,
+            solver_factory=config.solver_factory,
+            max_retries=config.solver_retries,
         )
+        ladder_on = (
+            config.max_escalations > 0 and config.sat_conflict_limit is not None
+        )
+        escalation_queue: list[tuple[int, int, bool, int]] = []
         self._pending_cex.clear()
         self._resim_sim = self.simulator
         self._resim_targets = classes.num_members
         compiled = self._compiled
         start = time.perf_counter()
-        while True:
-            if compiled:
-                # Flush before the classes are consulted so deferral can
-                # never change which class (or pair) is attacked next.
-                self._flush_cex(classes, metrics)
-                cls = classes.best_splittable()
-                if cls is None:
+        try:
+            while True:
+                if budget is not None and budget.expired():
+                    metrics.deadline_expired = True
                     break
-            else:
-                pending = classes.splittable()
-                if not pending:
-                    break
-                cls = pending[0]
-            # Representative: the shallowest member (cheapest miter cones).
-            rep = min(cls, key=lambda uid: (self.network.level(uid), uid))
-            others = [uid for uid in cls if uid != rep]
-            member = others[0]
-            complemented = classes.phase(rep) != classes.phase(member)
-            outcome, vector = checker.check(rep, member, complemented)
-            metrics.sat_calls += 1
-            self._notify("sat", metrics.sat_calls, classes.cost())
-            if outcome is SatResult.UNSAT:
-                metrics.proven += 1
-                result.equivalences.append((rep, member, complemented))
-                classes.remove_member(member)
-            elif outcome is SatResult.SAT:
-                metrics.disproven += 1
-                if config.resimulate_cex and vector is not None:
-                    if compiled:
-                        self.queue_counterexample(vector, rep, member)
-                        if len(self._pending_cex) >= config.cex_batch_width:
-                            self._flush_cex(classes, metrics)
-                    else:
-                        self._resimulate(classes, vector, metrics)
-                        if classes.same_class(rep, member):
-                            # The counterexample must separate the pair; if
-                            # phases / free PIs conspired against the split,
-                            # force it.
-                            classes.isolate(member)
-                elif classes.same_class(rep, member):
+                if compiled:
+                    # Flush before the classes are consulted so deferral can
+                    # never change which class (or pair) is attacked next.
+                    self._flush_cex(classes, metrics)
+                    cls = classes.best_splittable()
+                    if cls is None:
+                        break
+                else:
+                    pending = classes.splittable()
+                    if not pending:
+                        break
+                    cls = pending[0]
+                # Representative: the shallowest member (cheapest miter cones).
+                rep = min(cls, key=lambda uid: (self.network.level(uid), uid))
+                others = [uid for uid in cls if uid != rep]
+                member = others[0]
+                complemented = classes.phase(rep) != classes.phase(member)
+                outcome, vector = checker.check(rep, member, complemented)
+                metrics.sat_calls += 1
+                self._notify("sat", metrics.sat_calls, classes.cost())
+                if outcome is SatResult.UNSAT:
+                    metrics.proven += 1
+                    result.equivalences.append((rep, member, complemented))
+                    classes.remove_member(member)
+                elif outcome is SatResult.SAT:
+                    metrics.disproven += 1
+                    if config.resimulate_cex and vector is not None:
+                        if compiled:
+                            self.queue_counterexample(vector, rep, member)
+                            if len(self._pending_cex) >= config.cex_batch_width:
+                                self._flush_cex(classes, metrics)
+                        else:
+                            self._resimulate(classes, vector, metrics)
+                            if classes.same_class(rep, member):
+                                # The counterexample must separate the pair;
+                                # if phases / free PIs conspired against the
+                                # split, force it.
+                                classes.isolate(member)
+                    elif classes.same_class(rep, member):
+                        classes.isolate(member)
+                else:
+                    metrics.unknown += 1
                     classes.isolate(member)
-            else:
-                metrics.unknown += 1
-                classes.isolate(member)
-        self._flush_cex(classes, metrics)
+                    if ladder_on:
+                        escalation_queue.append((rep, member, complemented, 1))
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+        try:
+            self._flush_cex(classes, metrics)
+        except KeyboardInterrupt:
+            # Even the flush was interrupted: drop the pending vectors (they
+            # only refine classes further — never required for soundness).
+            metrics.interrupted = True
+            self._pending_cex.clear()
+        self._charge_attempt_time(metrics, 0, checker.stats.sat_time)
+        if escalation_queue and not metrics.interrupted:
+            self._run_escalations(
+                escalation_queue, classes, metrics, result, checker
+            )
+        metrics.solver_retries += checker.stats.retries
         metrics.sat_time += time.perf_counter() - start
         return result
+
+    # ------------------------------------------------------------------
+    # UNKNOWN escalation ladder
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _charge_attempt_time(
+        metrics: SweepMetrics, rung: int, seconds: float
+    ) -> None:
+        while len(metrics.sat_time_per_attempt) <= rung:
+            metrics.sat_time_per_attempt.append(0.0)
+        metrics.sat_time_per_attempt[rung] += seconds
+
+    def _run_escalations(
+        self,
+        queue: list[tuple[int, int, bool, int]],
+        classes: EquivalenceClasses,
+        metrics: SweepMetrics,
+        result: SweepResult,
+        checker: PairChecker,
+    ) -> None:
+        """Retry abandoned pairs with geometrically growing conflict limits.
+
+        Runs after the base pass so cheap pairs are never starved by a hard
+        one, and only while budget headroom remains.  A pair proven here is
+        re-merged into the result exactly as in the base pass; a pair still
+        UNKNOWN after the last rung is counted in
+        ``metrics.unknown_after_escalation``.
+        """
+        config = self.config
+        budget = config.budget
+        base_limit = config.sat_conflict_limit
+        try:
+            while queue:
+                if budget is not None and budget.expired():
+                    metrics.deadline_expired = True
+                    break
+                rep, member, complemented, rung = queue.pop(0)
+                limit = base_limit * (config.escalation_factor ** rung)
+                before = checker.stats.sat_time
+                outcome, vector = checker.check(
+                    rep, member, complemented, conflict_limit=limit
+                )
+                self._charge_attempt_time(
+                    metrics, rung, checker.stats.sat_time - before
+                )
+                metrics.sat_calls += 1
+                metrics.escalations += 1
+                self._notify("escalate", metrics.sat_calls, classes.cost())
+                if outcome is SatResult.UNSAT:
+                    metrics.unknown -= 1
+                    metrics.proven += 1
+                    result.equivalences.append((rep, member, complemented))
+                    if classes.tracked(member):
+                        classes.remove_member(member)
+                elif outcome is SatResult.SAT:
+                    metrics.unknown -= 1
+                    metrics.disproven += 1
+                    if config.resimulate_cex and vector is not None:
+                        if self._compiled:
+                            self.queue_counterexample(vector)
+                            self._flush_cex(classes, metrics)
+                        else:
+                            self._resimulate(classes, vector, metrics)
+                elif rung < config.max_escalations:
+                    queue.append((rep, member, complemented, rung + 1))
+                else:
+                    metrics.unknown_after_escalation += 1
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+            self._pending_cex.clear()
 
     # ------------------------------------------------------------------
     # Counterexample resimulation
@@ -306,9 +487,12 @@ class SweepEngine:
         batch = PatternBatch(self.network.pis)
         for total, _, _, _ in pending:
             batch.add_vector(total)
-        values = self._resim_simulator(classes).run_batch(batch)
-        classes.refine(values, batch.width)
-        metrics.vectors_simulated += batch.width
+        values = self._sim_batch(self._resim_simulator(classes), batch, metrics)
+        if values is not None:
+            classes.refine(values, batch.width)
+            metrics.vectors_simulated += batch.width
+        # Even when the batch was dropped, the forced isolations below keep
+        # every disproven pair separated — refinement is only an accelerant.
         for _, partial, rep, member in pending:
             # Counterexamples make good seeds for neighbourhood generators
             # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
@@ -335,7 +519,9 @@ class SweepEngine:
         members = classes.splittable_members()
         threshold = self._resim_targets * self.config.resim_recompile_factor
         if members and len(members) <= threshold:
-            self._resim_sim = CompiledSimulator(self.network, targets=members)
+            self._resim_sim = self._wrap_simulator(
+                CompiledSimulator(self.network, targets=members)
+            )
             self._resim_targets = len(members)
         return self._resim_sim
 
@@ -348,7 +534,9 @@ class SweepEngine:
         """Reference-mode resimulation: one full-network pass per cex."""
         batch = PatternBatch(self.network.pis, random.Random(self._rng.random()))
         batch.add_vector(vector)
-        values = self.simulator.run_batch(batch)
+        values = self._sim_batch(self.simulator, batch, metrics)
+        if values is None:
+            return
         classes.refine(values, batch.width)
         metrics.vectors_simulated += batch.width
         # Counterexamples make good seeds for neighbourhood generators

@@ -23,12 +23,15 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Optional
 
 from repro.benchgen import benchmark_names, build_benchmark
 from repro.core import factory, make_generator
 from repro.errors import ReproError
+from repro.runtime import Budget
 from repro.io import (
     bench_text,
     blif_text,
@@ -112,21 +115,43 @@ def _cmd_strash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_budget(args: argparse.Namespace) -> Optional[Budget]:
+    """Build the run-level budget from ``--timeout`` (None = unbounded)."""
+    if getattr(args, "timeout", None) is None:
+        return None
+    return Budget(seconds=args.timeout)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     network = load_network(args.input)
     generator = make_generator(args.strategy, network, seed=args.seed)
     config = SweepConfig(
-        seed=args.seed, iterations=args.iterations, random_width=args.patterns
+        seed=args.seed,
+        iterations=args.iterations,
+        random_width=args.patterns,
+        budget=_run_budget(args),
+        max_escalations=2 if args.escalate else 0,
     )
     engine = SweepEngine(network, generator, config)
     result = engine.run()
     metrics = result.metrics
-    print(
-        f"cost {metrics.cost_history[0]} -> {metrics.final_cost}, "
-        f"{metrics.sat_calls} SAT calls "
-        f"({metrics.proven} proven, {metrics.disproven} disproven), "
-        f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s"
-    )
+    if metrics.cost_history:
+        print(
+            f"cost {metrics.cost_history[0]} -> {metrics.final_cost}, "
+            f"{metrics.sat_calls} SAT calls "
+            f"({metrics.proven} proven, {metrics.disproven} disproven, "
+            f"{metrics.unknown} unknown), "
+            f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s"
+        )
+    if metrics.escalations:
+        print(
+            f"escalations: {metrics.escalations} retries, "
+            f"{metrics.unknown_after_escalation} pairs still unknown"
+        )
+    if metrics.deadline_expired:
+        print("deadline expired: partial (sound) result")
+    if metrics.interrupted:
+        print("interrupted: partial (sound) result")
     if args.output:
         reduced, stats = reduce_network(network, result.equivalences)
         save_network(reduced, args.output)
@@ -144,9 +169,14 @@ def _cmd_cec(args: argparse.Namespace) -> int:
         network_a,
         network_b,
         generator_factory=factory(args.strategy),
-        config=SweepConfig(seed=args.seed, iterations=args.iterations),
+        config=SweepConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            budget=_run_budget(args),
+            max_escalations=2 if args.escalate else 0,
+        ),
     )
-    verdict = "EQUIVALENT" if result.equivalent else "DIFFERENT"
+    verdict = result.verdict.upper()
     print(f"{verdict}  ({result.metrics.sat_calls} SAT calls)")
     for name, state in result.outputs.items():
         if state != "equal":
@@ -157,7 +187,23 @@ def _cmd_cec(args: argparse.Namespace) -> int:
             for pi, v in sorted(result.counterexample.values.items())
         )
         print(f"  counterexample: {values}")
-    return 0 if result.equivalent else 1
+    if args.json:
+        report = {
+            "verdict": result.verdict,
+            "equivalent": result.equivalent,
+            "conclusive": result.conclusive,
+            "outputs": result.outputs,
+            "sat_calls": result.metrics.sat_calls,
+            "deadline_expired": result.metrics.deadline_expired,
+            "interrupted": result.metrics.interrupted,
+        }
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    # A difference is exit 1; "inconclusive" exits 0 like "equivalent" so a
+    # deadline-bounded run in CI is distinguishable from a refutation (the
+    # report carries conclusive=false).
+    return 1 if result.verdict == "different" else 0
 
 
 def _cmd_putontop(args: argparse.Namespace) -> int:
@@ -243,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--iterations", type=int, default=20)
     p.add_argument("--patterns", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock deadline; expiry returns a sound partial result",
+    )
+    p.add_argument(
+        "--escalate", action="store_true",
+        help="retry conflict-limited pairs with growing limits (20k->80k->320k)",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -251,6 +305,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--strategy", default="AI+DC+MFFC")
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock deadline; expiry reports INCONCLUSIVE, never DIFFERENT",
+    )
+    p.add_argument(
+        "--escalate", action="store_true",
+        help="retry conflict-limited pairs with growing limits (20k->80k->320k)",
+    )
+    p.add_argument(
+        "--json", metavar="FILE",
+        help="write a machine-readable verdict report (includes conclusive)",
+    )
     p.set_defaults(fn=_cmd_cec)
 
     p = sub.add_parser("putontop", help="stack copies (&putontop)")
@@ -293,6 +359,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Engines absorb interrupts into partial results; one landing here
+        # (during I/O, mapping, ...) still exits cleanly.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

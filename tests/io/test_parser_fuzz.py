@@ -1,0 +1,193 @@
+"""Fuzzing the BLIF/BENCH parsers with mutated and truncated sources.
+
+The robustness contract: feeding the parsers *any* byte soup either yields
+a network or raises :class:`ParseError` carrying a line number — never an
+``IndexError``/``KeyError``/``ValueError`` leaking from parser internals —
+and valid documents survive parse -> write -> parse with a stable, fixed
+serialization.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.io import bench_text, blif_text, parse_bench, parse_blif
+from tests.conftest import networks_equal, random_network
+
+#: Forbidden escapees — the raw exceptions that sloppy parsing would leak.
+LEAKY = (IndexError, KeyError, ValueError, AttributeError, TypeError)
+
+
+def _seed_doc(fmt: str, seed: int) -> str:
+    net = random_network(seed=seed, num_inputs=3, num_gates=8)
+    return blif_text(net) if fmt == "blif" else bench_text(net)
+
+
+HAND_BLIF = """\
+.model hand
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+01 1
+.names c g
+0 1
+.end
+"""
+
+HAND_BENCH = """\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+t1 = AND(a, b)
+f = NAND(t1, c)
+"""
+
+
+def _mutate(doc: str, ops: list[tuple[str, int, int]]) -> str:
+    """Apply a deterministic edit script (truncate/delete/swap/dup/insert)."""
+    for op, pos_a, pos_b in ops:
+        if not doc:
+            break
+        a = pos_a % len(doc)
+        if op == "truncate":
+            doc = doc[:a]
+        elif op == "delete":
+            doc = doc[:a] + doc[a + 1:]
+        elif op == "swap":
+            b = pos_b % len(doc)
+            lo, hi = min(a, b), max(a, b)
+            if lo != hi:
+                doc = (
+                    doc[:lo] + doc[hi] + doc[lo + 1:hi] + doc[lo] + doc[hi + 1:]
+                )
+        elif op == "insert":
+            junk = "()=.#01-xyz \n"[pos_b % 13]
+            doc = doc[:a] + junk + doc[a:]
+        elif op == "dup_line":
+            lines = doc.splitlines(keepends=True)
+            if lines:
+                i = pos_a % len(lines)
+                lines.insert(i, lines[i])
+                doc = "".join(lines)
+    return doc
+
+
+edit_script = st.lists(
+    st.tuples(
+        st.sampled_from(["truncate", "delete", "swap", "insert", "dup_line"]),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+doc_choice = st.tuples(st.integers(0, 30), edit_script)
+
+
+def _assert_parse_contract(parse, doc: str) -> None:
+    try:
+        parse(doc)
+    except ParseError as exc:
+        assert exc.line is not None, (
+            f"ParseError without a line number: {exc}"
+        )
+        assert isinstance(exc.line, int) and exc.line >= 1
+    except LEAKY as exc:  # pragma: no cover - the failure being hunted
+        pytest.fail(f"parser leaked {type(exc).__name__}: {exc}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc_choice)
+def test_blif_mutations_never_leak(params):
+    seed, ops = params
+    doc = _mutate(_seed_doc("blif", seed), ops)
+    _assert_parse_contract(parse_blif, doc)
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc_choice)
+def test_bench_mutations_never_leak(params):
+    seed, ops = params
+    doc = _mutate(_seed_doc("bench", seed), ops)
+    _assert_parse_contract(parse_bench, doc)
+
+
+@settings(max_examples=100, deadline=None)
+@given(edit_script)
+def test_hand_blif_mutations_never_leak(ops):
+    _assert_parse_contract(parse_blif, _mutate(HAND_BLIF, ops))
+
+
+@settings(max_examples=100, deadline=None)
+@given(edit_script)
+def test_hand_bench_mutations_never_leak(ops):
+    _assert_parse_contract(parse_bench, _mutate(HAND_BENCH, ops))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 30), st.integers(0, 5000))
+def test_blif_truncation_never_leaks(seed, cut):
+    doc = _seed_doc("blif", seed)
+    _assert_parse_contract(parse_blif, doc[: cut % (len(doc) + 1)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 30), st.integers(0, 5000))
+def test_bench_truncation_never_leaks(seed, cut):
+    doc = _seed_doc("bench", seed)
+    _assert_parse_contract(parse_bench, doc[: cut % (len(doc) + 1)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 60))
+def test_blif_roundtrip_stable(seed):
+    text1 = _seed_doc("blif", seed)
+    net1 = parse_blif(text1)
+    text2 = blif_text(net1)
+    net2 = parse_blif(text2)
+    assert networks_equal(net1, net2, width=64)
+    # The serialization reaches a fixed point after one round trip.
+    assert blif_text(net2) == text2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 60))
+def test_bench_roundtrip_stable(seed):
+    text1 = _seed_doc("bench", seed)
+    net1 = parse_bench(text1)
+    text2 = bench_text(net1)
+    net2 = parse_bench(text2)
+    assert networks_equal(net1, net2, width=64)
+    assert bench_text(net2) == text2
+
+
+@pytest.mark.parametrize(
+    "parse, doc, needle",
+    [
+        (parse_blif, ".model m\n.outputs f\n.names g f\n1 1\n", "undefined"),
+        (
+            parse_blif,
+            ".model m\n.outputs f\n.names f f\n1 1\n",
+            "cycle",
+        ),
+        (
+            parse_blif,
+            ".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n",
+            "does not match",
+        ),
+        (parse_bench, "OUTPUT(f)\nf = AND(g, h)\n", "undefined"),
+        (parse_bench, "OUTPUT(f)\nf = BUF(f)\n", "cycle"),
+        (parse_bench, "INPUT(a)\nOUTPUT(a)\na = AND(a, a)\n", "INPUT"),
+    ],
+)
+def test_malformed_docs_report_lines(parse, doc, needle):
+    with pytest.raises(ParseError) as info:
+        parse(doc)
+    assert info.value.line is not None
+    assert needle in str(info.value)

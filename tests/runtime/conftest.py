@@ -1,0 +1,51 @@
+"""Shared builders for the runtime (budget / escalation / chaos) suites."""
+
+from repro.network import NetworkBuilder
+from repro.simulation import cone_function
+
+
+def parity_pair_network(n: int = 8, pairs: int = 1):
+    """``pairs`` structurally different parity implementations per PO pair.
+
+    A linear XOR chain and a balanced XOR tree compute the same parity, so
+    simulation can never split them — proving each pair is a genuinely hard
+    CDCL query whose cost grows steeply with ``n`` (parity has no short
+    resolution proofs), which makes this the standard stressor for conflict
+    limits, escalation ladders, and deadlines.
+    """
+    builder = NetworkBuilder("parity")
+    pis = builder.pis(n)
+    for p in range(pairs):
+        sigs = pis[p:] + pis[:p]
+        chain = sigs[0]
+        for sig in sigs[1:]:
+            chain = builder.xor_(chain, sig)
+        # The tree consumes the inputs rotated by one so no chain prefix
+        # coincides with a subtree: the only equivalence is the full parity,
+        # and proving it gets no warm-up from cheap intermediate proofs.
+        level = sigs[1:] + sigs[:1]
+        while len(level) > 1:
+            nxt = [
+                builder.xor_(level[i], level[i + 1])
+                for i in range(0, len(level) - 1, 2)
+            ]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        builder.po(chain, f"chain{p}")
+        builder.po(level[0], f"tree{p}")
+    return builder.build()
+
+
+def assert_equivalences_sound(net, equivalences) -> None:
+    """Every reported equivalence must hold as a truth-table identity."""
+    for rep, member, complemented in equivalences:
+        table_a, sup_a = cone_function(net, rep)
+        table_b, sup_b = cone_function(net, member)
+        union = sorted(set(sup_a) | set(sup_b))
+        wide_a = table_a.expand(len(union), [union.index(p) for p in sup_a])
+        wide_b = table_b.expand(len(union), [union.index(p) for p in sup_b])
+        if complemented:
+            assert wide_a.bits == (~wide_b).bits, (rep, member)
+        else:
+            assert wide_a.bits == wide_b.bits, (rep, member)

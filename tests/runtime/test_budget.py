@@ -1,0 +1,157 @@
+"""Budget/Deadline semantics (fake clock) and their solver integration."""
+
+import pytest
+
+from repro.errors import BudgetExpired
+from repro.runtime import Budget, Deadline
+from repro.sat.solver import CdclSolver, SatResult
+from repro.sweep.checker import PairChecker
+from tests.runtime.conftest import parity_pair_network
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadline:
+    def test_unlimited(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_expiry_on_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(4.9)
+        assert not deadline.expired()
+        clock.advance(0.2)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestBudgetCaps:
+    def test_conflict_cap(self):
+        budget = Budget(conflicts=100)
+        assert not budget.expired()
+        budget.charge_conflicts(99)
+        assert not budget.expired()
+        assert budget.remaining_conflicts() == 1
+        budget.charge_conflicts(1)
+        assert budget.expired()
+        assert budget.exhausted_reason() == "conflicts"
+
+    def test_sat_call_cap(self):
+        budget = Budget(sat_calls=2)
+        budget.charge_sat_call()
+        assert not budget.expired()
+        budget.charge_sat_call()
+        assert budget.exhausted_reason() == "sat_calls"
+
+    def test_deadline_reason_and_check(self):
+        clock = FakeClock()
+        budget = Budget(seconds=1.0, clock=clock)
+        budget.check()  # headroom: no raise
+        clock.advance(2.0)
+        assert budget.time_expired()
+        assert budget.exhausted_reason() == "deadline"
+        with pytest.raises(BudgetExpired, match="deadline"):
+            budget.check()
+
+    def test_unlimited_budget_never_expires(self):
+        budget = Budget()
+        budget.charge_conflicts(10**9)
+        budget.charge_sat_call(10**6)
+        assert not budget.expired()
+        assert budget.remaining_conflicts() is None
+        assert budget.remaining_seconds() is None
+
+
+class TestComposition:
+    def test_charges_flow_up(self):
+        parent = Budget(conflicts=1000)
+        child = parent.subbudget(conflicts=100)
+        child.charge_conflicts(60)
+        assert parent.conflicts_used == 60
+        assert child.remaining_conflicts() == 40
+
+    def test_parent_expiry_flows_down(self):
+        clock = FakeClock()
+        parent = Budget(seconds=1.0, clock=clock)
+        child = parent.subbudget(seconds=100.0, clock=clock)
+        assert not child.expired()
+        clock.advance(2.0)
+        assert child.time_expired()
+        assert child.expired()
+        assert child.exhausted_reason() == "deadline"
+
+    def test_remaining_is_tightest_across_chain(self):
+        clock = FakeClock()
+        parent = Budget(seconds=10.0, conflicts=50, clock=clock)
+        child = parent.subbudget(seconds=2.0, conflicts=500, clock=clock)
+        assert child.remaining_seconds() == pytest.approx(2.0)
+        assert child.remaining_conflicts() == 50
+        parent.charge_conflicts(30)
+        assert child.remaining_conflicts() == 20
+
+    def test_sibling_charges_share_parent(self):
+        parent = Budget(sat_calls=3)
+        left = parent.subbudget()
+        right = parent.subbudget()
+        left.charge_sat_call()
+        right.charge_sat_call()
+        right.charge_sat_call()
+        assert parent.expired()
+        assert left.expired()
+
+
+class TestSolverIntegration:
+    def test_expired_budget_short_circuits_solve(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        budget = Budget(seconds=0.0)
+        assert solver.solve(budget=budget) is SatResult.UNKNOWN
+
+    def test_conflict_budget_tightens_limit(self):
+        # Proving an 8-input parity pair needs far more than 5 conflicts.
+        net = parity_pair_network(n=8)
+        (_, uid_a), (_, uid_b) = net.pos
+        budget = Budget(conflicts=5)
+        checker = PairChecker(net, conflict_limit=None, budget=budget)
+        outcome, _ = checker.check(uid_a, uid_b)
+        assert outcome is SatResult.UNKNOWN
+        assert budget.expired()
+        assert budget.exhausted_reason() == "conflicts"
+
+    def test_sat_call_budget_stops_checker(self):
+        net = parity_pair_network(n=4)
+        (_, uid_a), (_, uid_b) = net.pos
+        budget = Budget(sat_calls=2)
+        checker = PairChecker(net, budget=budget)
+        first, _ = checker.check(uid_a, uid_b)
+        second, _ = checker.check(uid_b, uid_a)
+        assert first is SatResult.UNSAT
+        assert second is SatResult.UNSAT
+        # The cap is consumed: further queries degrade to UNKNOWN.
+        third, _ = checker.check(uid_a, uid_b)
+        assert third is SatResult.UNKNOWN
+        assert checker.stats.unknown == 1
+
+    def test_unbudgeted_solve_unaffected(self):
+        net = parity_pair_network(n=4)
+        (_, uid_a), (_, uid_b) = net.pos
+        outcome, _ = PairChecker(net).check(uid_a, uid_b)
+        assert outcome is SatResult.UNSAT

@@ -1,0 +1,84 @@
+"""The UNKNOWN escalation ladder: growing conflict limits after the base pass."""
+
+from repro.sweep import SweepConfig, SweepEngine
+from tests.runtime.conftest import assert_equivalences_sound, parity_pair_network
+
+# Proving the 10-input chain-vs-tree parity pair takes ~1024 conflicts, so a
+# base limit of 100 must abandon it, rung 1 (400) must abandon it again, and
+# rung 2 (1600) must prove it.
+HARD_N = 10
+BASE_LIMIT = 100
+
+
+def run_sweep(**overrides):
+    net = parity_pair_network(n=HARD_N)
+    config = SweepConfig(
+        seed=3, sat_conflict_limit=BASE_LIMIT, escalation_factor=4, **overrides
+    )
+    engine = SweepEngine(net, None, config)
+    result = engine.run()
+    return net, result
+
+
+class TestLadder:
+    def test_base_pass_alone_abandons_the_pair(self):
+        net, result = run_sweep(max_escalations=0)
+        metrics = result.metrics
+        assert metrics.unknown == 1
+        assert metrics.escalations == 0
+        assert metrics.unknown_after_escalation == 0
+        (_, chain), (_, tree) = net.pos
+        proven = {frozenset((a, b)) for a, b, _ in result.equivalences}
+        assert frozenset((chain, tree)) not in proven
+
+    def test_ladder_proves_the_abandoned_pair(self):
+        net, result = run_sweep(max_escalations=2)
+        metrics = result.metrics
+        # Rung 1 (400 conflicts) fails, rung 2 (1600) proves: two attempts.
+        assert metrics.escalations == 2
+        assert metrics.unknown == 0
+        assert metrics.unknown_after_escalation == 0
+        (_, chain), (_, tree) = net.pos
+        proven = {frozenset((a, b)) for a, b, _ in result.equivalences}
+        assert frozenset((chain, tree)) in proven
+        assert_equivalences_sound(net, result.equivalences)
+
+    def test_exhausted_ladder_counts_residual_unknowns(self):
+        # One rung of factor 4 tops out at 400 conflicts — still too few.
+        net, result = run_sweep(max_escalations=1)
+        metrics = result.metrics
+        assert metrics.escalations == 1
+        assert metrics.unknown == 1
+        assert metrics.unknown_after_escalation == 1
+        assert_equivalences_sound(net, result.equivalences)
+
+    def test_attempt_time_is_split_per_rung(self):
+        _, result = run_sweep(max_escalations=2)
+        per_attempt = result.metrics.sat_time_per_attempt
+        # Base pass + two rungs, each with nonzero solver time.
+        assert len(per_attempt) == 3
+        assert all(t > 0.0 for t in per_attempt)
+        assert sum(per_attempt) <= result.metrics.sat_time + 1e-6
+
+    def test_escalations_are_counted_as_sat_calls(self):
+        _, base = run_sweep(max_escalations=0)
+        _, laddered = run_sweep(max_escalations=2)
+        assert (
+            laddered.metrics.sat_calls
+            == base.metrics.sat_calls + laddered.metrics.escalations
+        )
+
+    def test_observer_sees_escalation_phase(self):
+        phases = []
+        net = parity_pair_network(n=HARD_N)
+        config = SweepConfig(
+            seed=3,
+            sat_conflict_limit=BASE_LIMIT,
+            max_escalations=2,
+            escalation_factor=4,
+        )
+        engine = SweepEngine(
+            net, None, config, observer=lambda phase, _s, _c: phases.append(phase)
+        )
+        engine.run()
+        assert "escalate" in phases

@@ -1,0 +1,131 @@
+"""Chaos suite: seeded fault injection must never produce an unsound verdict.
+
+Every parametrized case is one replayable fault schedule shared by the
+solver factory (so fresh-solver rebuilds continue the same fault history)
+and the simulator wrapper.  The invariant under test: whatever the faults
+do, a reported equivalence is real (truth-table identity AND a clean
+unbounded UNSAT re-proof) and a CEC verdict only ever *degrades* toward
+"inconclusive" — it never flips against ground truth.
+"""
+
+import pytest
+
+from repro.runtime import FaultSchedule, FaultySimulator, FlakySolver
+from repro.sat.solver import SatResult
+from repro.sweep import SweepConfig, SweepEngine
+from repro.sweep.cec import check_equivalence
+from repro.sweep.checker import PairChecker
+from tests.conftest import random_network
+from tests.runtime.conftest import assert_equivalences_sound, parity_pair_network
+from tests.sweep.test_engine import redundant_network
+
+CHAOS_SEEDS = range(30)
+
+
+def chaos_config(schedule: FaultSchedule, seed: int = 0) -> SweepConfig:
+    return SweepConfig(
+        seed=seed,
+        solver_factory=lambda: FlakySolver(schedule=schedule),
+        simulator_wrapper=lambda sim: FaultySimulator(sim, schedule),
+    )
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_no_unsound_verdict_under_faults(self, seed):
+        schedule = FaultSchedule(
+            seed, p_raise=0.12, p_unknown=0.10, p_duplicate=0.10
+        )
+        net, _ = redundant_network()
+        engine = SweepEngine(net, None, chaos_config(schedule, seed))
+        result = engine.run()
+        assert schedule.calls > 0
+        assert_equivalences_sound(net, result.equivalences)
+        # Every survivor re-proves UNSAT with a clean unbounded checker.
+        clean = PairChecker(net, conflict_limit=None)
+        for rep, member, complemented in result.equivalences:
+            outcome, _ = clean.check(rep, member, complemented)
+            assert outcome is SatResult.UNSAT
+
+    def test_faults_are_actually_injected_and_absorbed(self):
+        schedule = FaultSchedule(7, p_raise=0.35, p_unknown=0.15)
+        net, _ = redundant_network()
+        result = SweepEngine(net, None, chaos_config(schedule, 7)).run()
+        assert schedule.injected["raise"] > 0
+        assert (
+            result.metrics.solver_retries + result.metrics.sim_retries > 0
+        )
+        assert_equivalences_sound(net, result.equivalences)
+
+    def test_duplicate_only_faults_are_trajectory_identical(self):
+        # A duplicated batch recomputes bit-identical values, so a
+        # duplicate-only schedule must not perturb the run at all.
+        net, _ = redundant_network()
+        clean = SweepEngine(net, None, SweepConfig(seed=5)).run()
+        schedule = FaultSchedule(5, p_duplicate=1.0)
+        noisy_config = SweepConfig(
+            seed=5, simulator_wrapper=lambda sim: FaultySimulator(sim, schedule)
+        )
+        noisy = SweepEngine(net, None, noisy_config).run()
+        assert schedule.injected["duplicate"] > 0
+        assert noisy.metrics.cost_history == clean.metrics.cost_history
+        assert noisy.metrics.sat_calls == clean.metrics.sat_calls
+        assert noisy.equivalences == clean.equivalences
+
+
+class TestChaosCec:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equal_circuits_never_reported_different(self, seed):
+        schedule = FaultSchedule(
+            seed, p_raise=0.12, p_unknown=0.10, p_duplicate=0.10
+        )
+        net = parity_pair_network(n=6)
+        result = check_equivalence(net, net, config=chaos_config(schedule, seed))
+        assert result.verdict in ("equivalent", "inconclusive")
+        assert "different" not in result.outputs.values()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_different_circuits_never_reported_equivalent(self, seed):
+        net_a = random_network(seed=seed, num_inputs=4, num_gates=8)
+        net_b = random_network(seed=seed + 1000, num_inputs=4, num_gates=8)
+        ground = check_equivalence(net_a, net_b, config=SweepConfig(seed=1))
+        assert ground.conclusive
+        schedule = FaultSchedule(
+            seed, p_raise=0.12, p_unknown=0.10, p_duplicate=0.10
+        )
+        chaotic = check_equivalence(
+            net_a, net_b, config=chaos_config(schedule, 1)
+        )
+        assert chaotic.verdict in (ground.verdict, "inconclusive")
+
+
+class TestPermanentFailures:
+    def test_always_failing_solver_degrades_to_unknown(self):
+        schedule = FaultSchedule(0, p_raise=1.0, max_consecutive_raises=None)
+        net, _ = redundant_network()
+        config = SweepConfig(
+            seed=1, solver_factory=lambda: FlakySolver(schedule=schedule)
+        )
+        result = SweepEngine(net, None, config).run()
+        assert result.metrics.proven == 0
+        assert result.metrics.unknown > 0
+        assert result.equivalences == []
+        assert result.metrics.solver_retries > 0
+
+    def test_always_failing_simulator_still_terminates_soundly(self):
+        schedule = FaultSchedule(0, p_raise=1.0, max_consecutive_raises=None)
+        net, _ = redundant_network()
+        config = SweepConfig(
+            seed=1, simulator_wrapper=lambda sim: FaultySimulator(sim, schedule)
+        )
+        result = SweepEngine(net, None, config).run()
+        # Every batch was dropped: the classes stayed maximally coarse and
+        # the SAT phase did all the work — slower, but still sound.
+        assert result.metrics.sim_retries > 0
+        assert_equivalences_sound(net, result.equivalences)
+
+    def test_fault_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(0, p_raise=0.8, p_unknown=0.4)
+        with pytest.raises(ValueError):
+            FaultSchedule(0, p_raise=-0.1)
