@@ -71,12 +71,18 @@ def main(argv: list[str] | None = None) -> int:
         "--escalate", action="store_true",
         help="retry conflict-limited pairs with growing limits",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="SAT-phase worker processes per sweep (results identical "
+        "for any N)",
+    )
     args = parser.parse_args(argv)
     config = _config(args)
     config.num_seeds = max(1, args.seeds)
     config.timeout_s = args.timeout
     if args.escalate:
         config.max_escalations = 2
+    config.jobs = max(1, args.jobs)
     runner = ExperimentRunner(config)
 
     chosen = args.experiment

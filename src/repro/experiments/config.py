@@ -75,6 +75,9 @@ class ExperimentConfig:
     max_escalations: int = 0
     #: Conflict-limit growth factor per escalation rung.
     escalation_factor: int = 4
+    #: SAT-phase worker processes per sweep (1 = in-process serial path;
+    #: results are identical for any value).
+    jobs: int = 1
     #: Generator seeds averaged per (benchmark, strategy) in Table 1.  The
     #: paper's decision-heuristic deltas are fractions of a percent; at our
     #: scale a single seed's noise exceeds them, so Table 1 supports

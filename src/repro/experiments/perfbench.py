@@ -24,12 +24,20 @@ this per workload and refuses to report a speedup for a run that
 diverged.  Plan caches (ISOP covers, eval plans, cofactors) are cleared
 before every measured run so each variant pays its own compile/plan
 costs, as a fresh process would.
+
+The report also carries a ``worker_scaling`` section: the SAT-heavy
+stacked workloads re-run at several ``jobs`` counts through the
+process-parallel :class:`~repro.runtime.pool.CheckerPool` path, with the
+deterministic-merge contract asserted at every count, and a ``--baseline``
+gate that fails when any workload's machine-independent
+``speedup_vs_seed`` ratio regresses beyond ``--max-regression``.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import random
 import sys
 import time
@@ -81,10 +89,19 @@ FULL_WORKLOADS: tuple[tuple[str, str, int], ...] = QUICK_WORKLOADS + (
     ("b14_C", "RandS", 2),
 )
 
+#: SAT-heavy stacked instances used for the worker-scaling matrix: stacked
+#: copies maximize provable equivalences, i.e. the SAT-phase share that
+#: ``jobs > 1`` parallelizes.
+SCALING_WORKLOADS: tuple[tuple[str, str, int], ...] = (
+    ("cps", "AI+DC+MFFC", 2),
+    ("b14_C", "RandS", 2),
+)
+
 
 def clear_plan_caches() -> None:
     """Drop every memoized plan so the next run pays cold-start costs."""
     _sim_mod._eval_plan.cache_clear()
+    _cubes.isop_cover.cache_clear()
     _cubes.rows_of.cache_clear()
     _cubes.packed_rows.cache_clear()
     _tt._cofactor_cached.cache_clear()
@@ -323,6 +340,8 @@ class SweepTrace:
     equivalences: list[tuple[int, int, bool]]
     classes: list[list[int]]
     seconds: float = 0.0
+    sat_phase_s: float = 0.0
+    waves: int = 0
 
     def same_results(self, other: "SweepTrace") -> bool:
         return (
@@ -336,9 +355,26 @@ class SweepTrace:
             and self.classes == other.classes
         )
 
+    def same_merges(self, other: "SweepTrace") -> bool:
+        """The schedule-independent projection of a sweep's outcome.
+
+        The serial path and the wave-parallel path visit pairs in
+        different orders, so path-dependent counters (sat_calls,
+        disproven, vectors_simulated) may differ — but truly-equivalent
+        class members can never be split by any simulation vector, so the
+        final merges, classes, and proven count must agree exactly.
+        """
+        return (
+            sorted(self.equivalences) == sorted(other.equivalences)
+            and sorted(map(tuple, self.classes))
+            == sorted(map(tuple, other.classes))
+            and self.proven == other.proven
+            and self.cost_history == other.cost_history
+        )
+
 
 def _run_sweep(
-    network: Network, strategy: str, engine: str, seed: int
+    network: Network, strategy: str, engine: str, seed: int, jobs: int = 1
 ) -> SweepTrace:
     clear_plan_caches()
     generator = (
@@ -346,7 +382,7 @@ def _run_sweep(
         if strategy.lower() == "none"
         else make_generator(strategy, network, seed=seed)
     )
-    config = SweepConfig(seed=seed, engine=engine)
+    config = SweepConfig(seed=seed, engine=engine, jobs=jobs)
     sweep = SweepEngine(network, generator, config)
     start = time.perf_counter()
     result = sweep.run()
@@ -362,6 +398,8 @@ def _run_sweep(
         equivalences=list(result.equivalences),
         classes=result.classes.all_classes(),
         seconds=seconds,
+        sat_phase_s=metrics.sat_time,
+        waves=metrics.waves,
     )
 
 
@@ -398,6 +436,128 @@ def _measure_node_evals(
         if reference_rate
         else None,
     }
+
+
+def _measure_worker_scaling(
+    networks: dict[tuple[str, int], Network],
+    seed: int,
+    quick: bool,
+    verbose: bool,
+) -> dict:
+    """SAT-phase scaling of the process-parallel sweep path.
+
+    Runs each scaling workload at every worker count and enforces the
+    deterministic-merge contract before reporting any timing: the jobs=1
+    merges must equal every parallel run's merges, and all parallel runs
+    must be bit-identical to each other (verdicts, counterexamples, SAT
+    calls, waves).  ``host_cpus`` is recorded because wall-clock speedup
+    is physically bounded by the core count of the measuring host.
+    """
+    jobs_list = (1, 2) if quick else (1, 2, 4)
+    workloads = SCALING_WORKLOADS[:1] if quick else SCALING_WORKLOADS
+    rows = []
+    for benchmark, strategy, copies in workloads:
+        key = (benchmark, copies)
+        if key not in networks:
+            networks[key] = sweep_instance(benchmark, copies=copies)
+        network = networks[key]
+        traces: dict[int, SweepTrace] = {}
+        for jobs in jobs_list:
+            traces[jobs] = _run_sweep(
+                network, strategy, "compiled", seed, jobs=jobs
+            )
+        serial = traces[1]
+        parallel = [traces[jobs] for jobs in jobs_list if jobs > 1]
+        identical = all(serial.same_merges(t) for t in parallel) and all(
+            parallel[0].same_results(t) for t in parallel[1:]
+        )
+        if not identical:
+            raise ReproError(
+                f"parallel sweep diverged from the deterministic-merge "
+                f"contract on {benchmark}/{strategy} (x{copies})"
+            )
+        runs = {}
+        for jobs in jobs_list:
+            trace = traces[jobs]
+            runs[str(jobs)] = {
+                "total_s": round(trace.seconds, 4),
+                "sat_phase_s": round(trace.sat_phase_s, 4),
+                "sat_calls": trace.sat_calls,
+                "waves": trace.waves,
+                "sat_speedup": round(
+                    serial.sat_phase_s / trace.sat_phase_s, 2
+                )
+                if trace.sat_phase_s
+                else None,
+            }
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "strategy": strategy,
+                "copies": copies,
+                "identical": identical,
+                "runs": runs,
+            }
+        )
+        if verbose:
+            scaling = "  ".join(
+                f"j{jobs} {runs[str(jobs)]['sat_phase_s']:.3f}s"
+                for jobs in jobs_list
+            )
+            print(
+                f"{benchmark:>10s} {strategy:>10s} x{copies}  "
+                f"sat-phase {scaling}  identical={identical}"
+            )
+    speedups = [
+        run["sat_speedup"]
+        for row in rows
+        for run in row["runs"].values()
+        if run["sat_speedup"]
+    ]
+    return {
+        "host_cpus": os.cpu_count(),
+        "jobs": list(jobs_list),
+        "workloads": rows,
+        "max_sat_speedup": max(speedups) if speedups else None,
+        "note": (
+            "wall-clock speedup is bounded by host_cpus; determinism "
+            "(identical) holds for any worker count regardless"
+        ),
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline_path: str, max_regression: float
+) -> list[str]:
+    """Per-workload regression gate against a committed report.
+
+    Compares the machine-independent ``speedup_vs_seed`` ratios (seed and
+    compiled are measured in the same process on the same host, so the
+    ratio transfers across machines, unlike raw seconds).  Returns the
+    list of failures; empty means the gate passes.
+    """
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    baseline_rows = {
+        (row["benchmark"], row["strategy"], row["copies"]): row.get(
+            "speedup_vs_seed"
+        )
+        for row in baseline.get("workloads", ())
+    }
+    failures = []
+    for row in report["workloads"]:
+        key = (row["benchmark"], row["strategy"], row["copies"])
+        expected = baseline_rows.get(key)
+        achieved = row.get("speedup_vs_seed")
+        if not expected or not achieved:
+            continue
+        floor = expected * (1.0 - max_regression)
+        if achieved < floor:
+            failures.append(
+                f"{key[0]}/{key[1]} x{key[2]}: speedup_vs_seed "
+                f"{achieved}x < {floor:.2f}x "
+                f"(baseline {expected}x - {max_regression:.0%})"
+            )
+    return failures
 
 
 def _geomean(values: list[float]) -> Optional[float]:
@@ -469,6 +629,7 @@ def run_perf_bench(
             )
 
     node_evals = _measure_node_evals(list(networks.values()))
+    worker_scaling = _measure_worker_scaling(networks, seed, quick, verbose)
     total_seed = sum(r["seed_s"] for r in rows)
     total_reference = sum(r["reference_s"] for r in rows)
     total_compiled = sum(r["compiled_s"] for r in rows)
@@ -500,6 +661,7 @@ def run_perf_bench(
         "quick": quick,
         "node_evals_per_sec": node_evals,
         "workloads": rows,
+        "worker_scaling": worker_scaling,
         "summary": summary,
     }
     if verbose:
@@ -541,6 +703,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="fail unless end-to-end speedup vs seed reaches this factor",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="committed BENCH_perf.json to gate per-workload "
+        "speedup_vs_seed ratios against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop of a workload's speedup_vs_seed "
+        "relative to --baseline (default 0.25)",
+    )
     args = parser.parse_args(argv)
     try:
         report = run_perf_bench(
@@ -560,6 +736,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"required {args.min_speedup}x"
             )
             return 1
+    if args.baseline is not None:
+        failures = check_against_baseline(
+            report, args.baseline, args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(f"perf gate passed vs {args.baseline}")
     return 0
 
 

@@ -74,6 +74,7 @@ class ExperimentRunner:
             budget=budget,
             max_escalations=cfg.max_escalations,
             escalation_factor=cfg.escalation_factor,
+            jobs=cfg.jobs,
         )
 
     def run(

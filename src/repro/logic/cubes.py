@@ -217,6 +217,13 @@ def isop(table: TruthTable) -> list[Cube]:
 
 
 @lru_cache(maxsize=16384)
+def isop_cover(table: TruthTable) -> tuple[Cube, ...]:
+    """Cached, immutable :func:`isop` — LUT networks reuse few functions,
+    so repeated cone encodings hit this instead of re-deriving the cover."""
+    return tuple(isop(table))
+
+
+@lru_cache(maxsize=16384)
 def rows_of(table: TruthTable) -> tuple[Row, ...]:
     """All rows of ``table``: ISOP of the onset plus ISOP of the offset.
 

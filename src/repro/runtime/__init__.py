@@ -10,12 +10,15 @@ prove the engines degrade to UNKNOWN instead of to wrong answers.
 from repro.errors import BudgetExpired
 from repro.runtime.budget import Budget, Deadline
 from repro.runtime.faults import FaultSchedule, FaultySimulator, FlakySolver
+from repro.runtime.pool import CheckerPool, PairVerdict
 
 __all__ = [
     "Budget",
     "BudgetExpired",
+    "CheckerPool",
     "Deadline",
     "FaultSchedule",
     "FaultySimulator",
     "FlakySolver",
+    "PairVerdict",
 ]

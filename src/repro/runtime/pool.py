@@ -1,0 +1,324 @@
+"""Process-parallel equivalence-pair checking with a deterministic merge.
+
+SAT sweeping spends its SAT phase on *independent* pair queries, which makes
+it embarrassingly parallel — the headline win of hybrid sweeping engines
+(PAPERS.md: arXiv:2501.14740).  This module provides the worker pool the
+sweep engine and CEC fall back on when ``jobs > 1``.
+
+Determinism contract
+--------------------
+
+The refinement trajectory of a parallel sweep must be **bit-identical for
+any worker count**.  Two mechanisms guarantee it:
+
+* **Virtual solver shards.**  Pair queries are routed to a fixed number of
+  virtual shards by a stable hash of the pair — *independent of the worker
+  count*.  Each shard owns one incremental :class:`PairChecker` (persistent
+  CDCL solver + Tseitin encoder) and serves its queries in canonical
+  dispatch order, so the query sequence any solver instance observes — and
+  therefore every verdict, counterexample model, and conflict count — is a
+  pure function of the dispatched pairs.  Changing ``jobs`` only changes
+  which *process* hosts a shard, never what a solver sees.
+
+* **Canonical merge order.**  :meth:`CheckerPool.check_pairs` returns
+  verdicts in dispatch order regardless of completion order; the engine
+  merges them in that order and absorbs all counterexamples through one
+  batched resimulation.
+
+Fault tolerance
+---------------
+
+A worker killed mid-query degrades exactly the queries it lost to
+``UNKNOWN`` (never a fabricated verdict): the parent respawns a
+replacement on the same task queue — queued-but-unread tasks survive in
+the queue and are served by the replacement — and sends a *fence* message;
+any task submitted before the fence that still has no answer when the
+fence returns was lost inside the dead worker.  Budget deadlines are
+polled by the parent while collecting; expiry abandons outstanding work
+as ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SweepError
+from repro.network.network import Network
+from repro.runtime.budget import Budget
+from repro.sat.solver import SatResult
+from repro.simulation.patterns import InputVector
+
+#: Virtual shard count.  Fixed (never derived from the worker count) so the
+#: trajectory is identical for any ``jobs``; raising it increases available
+#: parallelism but changes which solver serves which pair (a different —
+#: still deterministic — trajectory).
+DEFAULT_SHARDS = 16
+
+
+@dataclass(slots=True)
+class PairVerdict:
+    """One worker answer, merged by the parent in dispatch order."""
+
+    outcome: SatResult
+    vector: Optional[InputVector]
+    #: CDCL conflicts the query consumed (charged to the parent's budget).
+    conflicts: int
+    #: Solver wall-clock seconds inside the worker.
+    sat_time: float
+    #: True when no worker answer exists (worker death or budget expiry);
+    #: the outcome is then UNKNOWN — degraded, never fabricated.
+    degraded: bool = False
+
+
+def _worker_main(
+    network: Network,
+    conflict_limit: Optional[int],
+    incremental: bool,
+    task_queue,
+    result_queue,
+    chaos_kill_pair: Optional[tuple[int, int]],
+) -> None:
+    """Worker loop: route each task to its shard's checker and answer.
+
+    ``chaos_kill_pair`` is a fault-injection seam (see
+    :mod:`repro.runtime.faults`): receiving that exact pair hard-kills the
+    process mid-query, which chaos tests use to prove degradation.
+    """
+    # Imported here so the module can be imported without the sweep package
+    # (and so spawn-start workers resolve it in their own interpreter).
+    from repro.sweep.checker import PairChecker
+
+    checkers: dict[int, PairChecker] = {}
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        if message[0] == "fence":
+            result_queue.put(("fence", message[1]))
+            continue
+        _, task_id, shard, rep, member, complemented, limit = message
+        if chaos_kill_pair is not None and (rep, member) == chaos_kill_pair:
+            os._exit(1)
+        checker = checkers.get(shard)
+        if checker is None:
+            checker = PairChecker(
+                network,
+                conflict_limit=conflict_limit,
+                incremental=incremental,
+            )
+            checkers[shard] = checker
+        conflicts_before = checker.stats.conflicts
+        time_before = checker.stats.sat_time
+        outcome, vector = checker.check(
+            rep, member, complemented, conflict_limit=limit
+        )
+        result_queue.put(
+            (
+                "done",
+                task_id,
+                outcome.value,
+                None if vector is None else dict(vector.values),
+                checker.stats.conflicts - conflicts_before,
+                checker.stats.sat_time - time_before,
+            )
+        )
+
+
+class CheckerPool:
+    """A pool of worker processes answering pair-equivalence queries.
+
+    Each worker holds the incremental checkers of the shards routed to it
+    over a read-only copy of the network (inherited copy-on-write under
+    ``fork``, pickled under ``spawn``).
+    """
+
+    #: Seconds between liveness/deadline polls while collecting.
+    POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        network: Network,
+        jobs: int,
+        shards: int = DEFAULT_SHARDS,
+        conflict_limit: Optional[int] = 20000,
+        incremental: bool = True,
+        chaos_kill_pair: Optional[tuple[int, int]] = None,
+    ):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        if shards < 1:
+            raise SweepError(f"shards must be >= 1, got {shards}")
+        self.jobs = jobs
+        self.shards = shards
+        self._network = network
+        self._conflict_limit = conflict_limit
+        self._incremental = incremental
+        self._chaos_kill_pair = (
+            None if chaos_kill_pair is None else tuple(chaos_kill_pair)
+        )
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = [self._ctx.Queue() for _ in range(jobs)]
+        self._processes: list = [None] * jobs
+        self._task_seq = 0
+        self._fence_seq = 0
+        #: Worker deaths absorbed by respawning (chaos metric).
+        self.worker_failures = 0
+        self._closed = False
+        for index in range(jobs):
+            self._spawn(index)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> None:
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._network,
+                self._conflict_limit,
+                self._incremental,
+                self._task_queues[index],
+                self._result_queue,
+                self._chaos_kill_pair,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._processes[index] = process
+
+    def shard_of(self, rep: int, member: int) -> int:
+        """Stable shard routing: a pure function of the pair (never of
+        ``jobs``), so retries and escalations hit the same solver state."""
+        return ((rep * 0x9E3779B1) ^ (member * 0x85EBCA6B)) % self.shards
+
+    # ------------------------------------------------------------------
+    def check_pairs(
+        self,
+        pairs: Sequence[tuple[int, int, bool]],
+        limits: Optional[Sequence[Optional[int]]] = None,
+        budget: Optional[Budget] = None,
+    ) -> list[PairVerdict]:
+        """Check ``(rep, member, complemented)`` pairs concurrently.
+
+        Verdicts come back **in dispatch order** regardless of completion
+        order.  Pairs whose answer never arrives — worker death, budget
+        deadline — are returned as degraded ``UNKNOWN``.
+
+        Args:
+            limits: Optional per-pair conflict-limit overrides (escalation
+                ladders pass the rung's limit); ``None`` entries mean the
+                pool-wide limit.
+            budget: Polled for its deadline while collecting; conflict
+                headroom tightens each dispatched limit at wave granularity.
+        """
+        if self._closed:
+            raise SweepError("pool is closed")
+        count = len(pairs)
+        verdicts: list[Optional[PairVerdict]] = [None] * count
+        position: dict[int, int] = {}
+        owner: dict[int, int] = {}
+        remaining = (
+            budget.remaining_conflicts() if budget is not None else None
+        )
+        for offset, (rep, member, complemented) in enumerate(pairs):
+            limit = self._conflict_limit
+            if limits is not None and limits[offset] is not None:
+                limit = limits[offset]
+            if remaining is not None and (limit is None or remaining < limit):
+                limit = remaining
+            task_id = self._task_seq
+            self._task_seq += 1
+            position[task_id] = offset
+            shard = self.shard_of(rep, member)
+            worker = shard % self.jobs
+            owner[task_id] = worker
+            self._task_queues[worker].put(
+                ("check", task_id, shard, rep, member, complemented, limit)
+            )
+        pending_fences: dict[int, list[int]] = {}
+        outstanding = set(position)
+        while outstanding:
+            if budget is not None and budget.time_expired():
+                break  # outstanding work is abandoned, degraded to UNKNOWN
+            try:
+                message = self._result_queue.get(timeout=self.POLL_INTERVAL)
+            except queue_mod.Empty:
+                self._reap_dead(owner, outstanding, pending_fences)
+                continue
+            if message[0] == "fence":
+                lost = pending_fences.pop(message[1], ())
+                for task_id in lost:
+                    # Submitted before the fence, no answer by the time the
+                    # replacement reached it: lost inside the dead worker.
+                    if task_id in outstanding:
+                        outstanding.discard(task_id)
+                continue
+            _, task_id, outcome, values, conflicts, sat_time = message
+            if task_id not in outstanding:
+                continue  # straggler from an abandoned earlier call
+            outstanding.discard(task_id)
+            verdicts[position[task_id]] = PairVerdict(
+                SatResult(outcome),
+                None if values is None else InputVector(dict(values)),
+                conflicts,
+                sat_time,
+            )
+        for offset in range(count):
+            if verdicts[offset] is None:
+                verdicts[offset] = PairVerdict(
+                    SatResult.UNKNOWN, None, 0, 0.0, degraded=True
+                )
+        return verdicts  # type: ignore[return-value]
+
+    def _reap_dead(
+        self,
+        owner: dict[int, int],
+        outstanding: set[int],
+        pending_fences: dict[int, list[int]],
+    ) -> None:
+        """Respawn dead workers; fence to find which tasks died with them."""
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            self.worker_failures += 1
+            self._spawn(index)
+            fence_id = self._fence_seq
+            self._fence_seq += 1
+            pending_fences[fence_id] = [
+                task_id
+                for task_id in outstanding
+                if owner.get(task_id) == index
+            ]
+            self._task_queues[index].put(("fence", fence_id))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop all workers (terminating any still mid-query)."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=0.5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=0.5)
+        self._result_queue.close()
+        for task_queue in self._task_queues:
+            task_queue.close()
+
+    def __enter__(self) -> "CheckerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,8 +3,12 @@
 This is the verification engine behind SAT sweeping (the role MiniSat plays
 inside ABC).  Features: two-watched-literal propagation, first-UIP conflict
 analysis with clause learning, VSIDS-style activity with decay, phase
-saving, geometric restarts, and an optional conflict budget that yields
-``UNKNOWN`` instead of running away on hard instances.
+saving (polarities persist across backtracks *and* across incremental
+solve calls), LBD-scored learnt clauses with periodic database reduction
+(so a long-lived incremental solver serving thousands of sweep queries
+does not accumulate learnts unboundedly), geometric restarts, and an
+optional conflict budget that yields ``UNKNOWN`` instead of running away
+on hard instances.
 
 Internal literal encoding: variable ``v`` (1-based) has positive literal
 ``2*v`` and negative literal ``2*v + 1``; DIMACS ints are converted at the
@@ -48,10 +52,18 @@ class CdclSolver:
 
     _UNASSIGNED = -1
 
+    #: Learnt-DB reduction starts once this many learnts are live; the cap
+    #: grows geometrically after every reduction (MiniSat-style).
+    LEARNT_CAP_INIT = 4000
+    LEARNT_CAP_GROWTH = 1.3
+
     def __init__(self) -> None:
         self._num_vars = 0
-        self._clauses: list[list[int]] = []
+        self._clauses: list[Optional[list[int]]] = []
         self._watches: dict[int, list[int]] = {}
+        #: Live learnt clauses: clause index -> LBD at learn time.
+        self._learnts: dict[int, int] = {}
+        self._learnt_cap = self.LEARNT_CAP_INIT
         # Per-variable state, 1-indexed (index 0 unused).
         self._assign: list[int] = [self._UNASSIGNED]  # 0/1/UNASSIGNED
         self._level: list[int] = [0]
@@ -64,7 +76,14 @@ class CdclSolver:
         self._ok = True  # False once an empty clause was added
         self._var_inc = 1.0
         self._var_decay = 0.95
-        self.stats = {"decisions": 0, "conflicts": 0, "propagations": 0, "restarts": 0}
+        self.stats = {
+            "decisions": 0,
+            "conflicts": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learnts_deleted": 0,
+            "reductions": 0,
+        }
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -133,12 +152,42 @@ class CdclSolver:
             ok = self.add_clause(clause) and ok
         return ok
 
-    def _attach_clause(self, clause: list[int]) -> int:
+    def _attach_clause(self, clause: list[int], lbd: Optional[int] = None) -> int:
         index = len(self._clauses)
         self._clauses.append(clause)
         self._watches.setdefault(clause[0], []).append(index)
         self._watches.setdefault(clause[1], []).append(index)
+        if lbd is not None:
+            self._learnts[index] = lbd
         return index
+
+    def _reduce_learnts(self) -> None:
+        """Delete the worst half of the removable learnt clauses.
+
+        Ranking is (LBD desc, length desc, index desc) — fully deterministic.
+        Glue clauses (LBD <= 2) and clauses locked as a reason of a current
+        trail assignment are never removed.  Deleted slots become ``None``
+        tombstones that :meth:`_propagate` drops from watch lists lazily.
+        """
+        locked = {self._reason[_var(ilit)] for ilit in self._trail}
+        removable = sorted(
+            (
+                ci
+                for ci, lbd in self._learnts.items()
+                if lbd > 2 and ci not in locked
+            ),
+            key=lambda ci: (
+                -self._learnts[ci],
+                -len(self._clauses[ci]),
+                -ci,
+            ),
+        )
+        for ci in removable[: len(removable) // 2]:
+            self._clauses[ci] = None
+            del self._learnts[ci]
+            self.stats["learnts_deleted"] += 1
+        self.stats["reductions"] += 1
+        self._learnt_cap = int(self._learnt_cap * self.LEARNT_CAP_GROWTH)
 
     # ------------------------------------------------------------------
     # Assignment machinery
@@ -180,6 +229,8 @@ class CdclSolver:
                 ci = watch_list[i]
                 i += 1
                 clause = self._clauses[ci]
+                if clause is None:
+                    continue  # deleted learnt: drop from this watch list
                 # Normalize: put the false literal at position 1.
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
@@ -367,6 +418,10 @@ class CdclSolver:
                     result = SatResult.UNSAT
                     break
                 learnt, back = self._analyze(conflict)
+                # LBD (literal block distance): distinct decision levels in
+                # the learnt clause, measured before backjumping unassigns
+                # them.  Low LBD ("glue") clauses are kept forever.
+                lbd = len({self._level[_var(q)] for q in learnt})
                 back = max(back, self._num_assumption_levels())
                 self._cancel_until(back)
                 if len(learnt) == 1:
@@ -374,7 +429,7 @@ class CdclSolver:
                         result = SatResult.UNSAT
                         break
                 else:
-                    ci = self._attach_clause(learnt)
+                    ci = self._attach_clause(learnt, lbd=lbd)
                     self._enqueue(learnt[0], ci)
                 self._var_inc /= self._var_decay
                 if conflict_limit is not None and conflicts_seen >= conflict_limit:
@@ -384,6 +439,8 @@ class CdclSolver:
                     restart_budget = int(restart_budget * 1.5)
                     self.stats["restarts"] += 1
                     self._cancel_until(self._num_assumption_levels())
+                    if len(self._learnts) >= self._learnt_cap:
+                        self._reduce_learnts()
                 continue
 
             # No conflict: extend assumptions, then decide.

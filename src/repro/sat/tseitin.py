@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import SatError
-from repro.logic.cubes import isop
+from repro.logic.cubes import isop_cover
 from repro.network.network import Network
 from repro.network.traversal import cone_topological_order
 from repro.sat.cnf import Cnf
@@ -52,11 +52,11 @@ class TseitinEncoder:
         return self._node_var[root]
 
     def _encode_gate(self, out_var: int, table, fanin_vars: list[int]) -> None:
-        for cube in isop(table):
+        for cube in isop_cover(table):
             clause = self._cube_antecedent(cube, fanin_vars)
             clause.append(out_var)
             self.cnf.add_clause(clause)
-        for cube in isop(~table):
+        for cube in isop_cover(~table):
             clause = self._cube_antecedent(cube, fanin_vars)
             clause.append(-out_var)
             self.cnf.add_clause(clause)

@@ -15,12 +15,14 @@ an interrupt reports the unresolved outputs ``"unknown"`` and sets
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError
 from repro.network.network import Network
+from repro.runtime.pool import CheckerPool
 from repro.sat.solver import SatResult
 from repro.simulation.patterns import InputVector, PatternBatch
 from repro.sweep.checker import PairChecker
@@ -125,15 +127,18 @@ def check_equivalence(
 
     # Fallback miter calls go through a PairChecker so sat_calls AND
     # sat_time are tracked uniformly with the sweep's own SAT phase (and
-    # the incremental solver is reused across output pairs).
-    checker = PairChecker(
-        union,
-        conflict_limit=config.sat_conflict_limit,
-        incremental=config.incremental_sat,
-        budget=budget,
-        solver_factory=config.solver_factory,
-        max_retries=config.solver_retries,
-    )
+    # the incremental solver is reused across output pairs).  With
+    # ``jobs > 1`` the unresolved pairs go to a CheckerPool batch instead.
+    checker = None
+    if config.jobs == 1:
+        checker = PairChecker(
+            union,
+            conflict_limit=config.sat_conflict_limit,
+            incremental=config.incremental_sat,
+            budget=budget,
+            solver_factory=config.solver_factory,
+            max_retries=config.solver_retries,
+        )
 
     result = CecResult(equivalent=True, metrics=sweep.metrics)
     #: One lazily simulated total vector, shared by every complement-proven
@@ -151,26 +156,39 @@ def check_equivalence(
             witness = (batch.vector_at(0), values)
         return witness
 
+    def resolve_from_sweep(name: str, node_a: int, node_b: int) -> bool:
+        """Resolve a PO pair from the sweep's verdicts alone, if possible."""
+        if node_a == node_b or (node_a, node_b) in proven:
+            result.outputs[name] = "equal"
+            return True
+        if (node_a, node_b) in comp_proven:
+            result.outputs[name] = "different"
+            result.equivalent = False
+            if result.counterexample is None:
+                data = complement_witness()
+                if data is not None and (
+                    (data[1][node_a] ^ data[1][node_b]) & 1
+                ):
+                    result.counterexample = data[0]
+            return True
+        return False
+
+    pending: list[tuple[str, int, int]] = []
     try:
         for name, node_a, node_b in pairs:
-            if node_a == node_b or (node_a, node_b) in proven:
-                result.outputs[name] = "equal"
-                continue
-            if (node_a, node_b) in comp_proven:
-                result.outputs[name] = "different"
-                result.equivalent = False
-                if result.counterexample is None:
-                    data = complement_witness()
-                    if data is not None and (
-                        (data[1][node_a] ^ data[1][node_b]) & 1
-                    ):
-                        result.counterexample = data[0]
+            if resolve_from_sweep(name, node_a, node_b):
                 continue
             if sweep.metrics.interrupted or (
                 budget is not None and budget.expired()
             ):
                 result.outputs[name] = "unknown"
                 result.equivalent = False
+                continue
+            if config.jobs > 1:
+                # Defer to one concurrent batch of fallback miters; the
+                # verdicts merge below in PO order, so the counterexample
+                # (the first differing PO) is worker-count-invariant.
+                pending.append((name, node_a, node_b))
                 continue
             outcome, vector = checker.check(node_a, node_b)
             if outcome is SatResult.UNSAT:
@@ -183,6 +201,37 @@ def check_equivalence(
             else:
                 result.outputs[name] = "unknown"
                 result.equivalent = False
+        if pending:
+            fallback_start = time.perf_counter()
+            with CheckerPool(
+                union,
+                config.jobs,
+                shards=config.sat_shards,
+                conflict_limit=config.sat_conflict_limit,
+                incremental=config.incremental_sat,
+                chaos_kill_pair=config.chaos_kill_pair,
+            ) as pool:
+                verdicts = pool.check_pairs(
+                    [(a, b, False) for _, a, b in pending], budget=budget
+                )
+                sweep.metrics.worker_failures += pool.worker_failures
+            for (name, _, _), verdict in zip(pending, verdicts):
+                sweep.metrics.sat_calls += 1
+                sweep.metrics.worker_sat_time += verdict.sat_time
+                if budget is not None and not verdict.degraded:
+                    budget.charge_sat_call()
+                    budget.charge_conflicts(verdict.conflicts)
+                if verdict.outcome is SatResult.UNSAT:
+                    result.outputs[name] = "equal"
+                elif verdict.outcome is SatResult.SAT:
+                    result.outputs[name] = "different"
+                    result.equivalent = False
+                    if result.counterexample is None:
+                        result.counterexample = verdict.vector
+                else:
+                    result.outputs[name] = "unknown"
+                    result.equivalent = False
+            sweep.metrics.sat_time += time.perf_counter() - fallback_start
     except KeyboardInterrupt:
         sweep.metrics.interrupted = True
         for name, _, _ in pairs:
@@ -190,8 +239,9 @@ def check_equivalence(
                 result.outputs[name] = "unknown"
                 result.equivalent = False
 
-    sweep.metrics.sat_calls += checker.stats.calls
-    sweep.metrics.sat_time += checker.stats.sat_time
-    sweep.metrics.solver_retries += checker.stats.retries
+    if checker is not None:
+        sweep.metrics.sat_calls += checker.stats.calls
+        sweep.metrics.sat_time += checker.stats.sat_time
+        sweep.metrics.solver_retries += checker.stats.retries
     result.conclusive = "unknown" not in result.outputs.values()
     return result

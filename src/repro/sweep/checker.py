@@ -42,6 +42,9 @@ class CheckerStats:
     proven: int = 0
     disproven: int = 0
     unknown: int = 0
+    #: CDCL conflicts consumed across all queries (pool workers report the
+    #: per-query delta back so the parent can charge the shared budget).
+    conflicts: int = 0
     #: Transient solver faults recovered by a fresh-solver retry.
     retries: int = 0
 
@@ -152,6 +155,7 @@ class PairChecker:
         solver = self._solver_factory()
         solver.add_cnf(cnf)
         result = solver.solve(conflict_limit=limit, budget=self.budget)
+        self.stats.conflicts += solver.stats.get("conflicts", 0)
         if result is SatResult.SAT:
             return result, encoder.model_to_vector(solver.model())
         return result, None
@@ -177,9 +181,11 @@ class PairChecker:
         else:
             self._solver.add_clause([-selector, var_a, var_b])
             self._solver.add_clause([-selector, -var_a, -var_b])
+        before = self._solver.stats.get("conflicts", 0)
         result = self._solver.solve(
             assumptions=[selector], conflict_limit=limit, budget=self.budget
         )
+        self.stats.conflicts += self._solver.stats.get("conflicts", 0) - before
         vector = None
         if result is SatResult.SAT:
             vector = self._encoder.model_to_vector(self._solver.model())

@@ -27,6 +27,7 @@ from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError, TransientSimulationError
 from repro.network.network import Network
 from repro.runtime.budget import Budget
+from repro.runtime.pool import DEFAULT_SHARDS, CheckerPool
 from repro.sat.solver import SatResult
 from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.patterns import InputVector, PatternBatch
@@ -100,6 +101,21 @@ class SweepConfig:
     #: Bounded fresh-solver retries for a transiently failing SAT query
     #: before it degrades to UNKNOWN.
     solver_retries: int = 2
+    #: Worker processes for the SAT phase.  1 (default) is the in-process
+    #: serial path, bit-identical to previous releases.  >1 dispatches
+    #: independent pairs in level-ordered waves to a
+    #: :class:`~repro.runtime.pool.CheckerPool` and merges verdicts in
+    #: canonical dispatch order; the trajectory is then bit-identical for
+    #: *any* worker count (final merges, classes, and cost also match the
+    #: serial path — see docs/PERFORMANCE.md).
+    jobs: int = 1
+    #: Virtual solver shards of the parallel path (fixed, never derived
+    #: from ``jobs``, so the trajectory is worker-count-invariant).
+    sat_shards: int = DEFAULT_SHARDS
+    #: Fault-injection seam of the parallel path: a worker receiving this
+    #: exact ``(rep, member)`` pair hard-kills itself mid-query; chaos
+    #: tests use it to prove the pair degrades to UNKNOWN.
+    chaos_kill_pair: Optional[tuple[int, int]] = None
 
 
 @dataclass(slots=True)
@@ -140,6 +156,13 @@ class SweepMetrics:
     sim_retries: int = 0
     #: Transient solver faults absorbed by fresh-solver rebuilds.
     solver_retries: int = 0
+    #: Dispatch waves of the parallel SAT phase (0 on the serial path).
+    waves: int = 0
+    #: Summed solver seconds inside pool workers (can exceed ``sat_time``,
+    #: the phase wall-clock, when workers overlap).
+    worker_sat_time: float = 0.0
+    #: Pool worker deaths absorbed by respawn + UNKNOWN degradation.
+    worker_failures: int = 0
 
     @property
     def final_cost(self) -> int:
@@ -184,6 +207,19 @@ class SweepEngine:
                 "(use 'compiled' or 'reference')"
             )
         self._compiled = self.config.engine == "compiled"
+        if self.config.jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {self.config.jobs}")
+        if self.config.jobs > 1:
+            if self.config.solver_factory is not None:
+                raise SweepError(
+                    "solver_factory cannot cross process boundaries; use "
+                    "jobs=1, or the chaos_kill_pair seam for parallel faults"
+                )
+            if not self._compiled:
+                raise SweepError(
+                    "jobs > 1 requires the compiled engine (batched "
+                    "counterexample resimulation)"
+                )
         self.simulator = self._wrap_simulator(
             CompiledSimulator(network) if self._compiled else Simulator(network)
         )
@@ -300,6 +336,8 @@ class SweepEngine:
         result = SweepResult(classes=classes, metrics=metrics)
         if metrics.interrupted:
             return result
+        if config.jobs > 1:
+            return self._run_sat_phase_parallel(classes, metrics, result)
         checker = PairChecker(
             self.network,
             conflict_limit=config.sat_conflict_limit,
@@ -384,6 +422,203 @@ class SweepEngine:
         metrics.solver_retries += checker.stats.retries
         metrics.sat_time += time.perf_counter() - start
         return result
+
+    # ------------------------------------------------------------------
+    # Parallel SAT phase (jobs > 1)
+    # ------------------------------------------------------------------
+    def _build_wave(
+        self, classes: EquivalenceClasses, wave_index: int
+    ) -> list[tuple[int, int, bool]]:
+        """Snapshot the next wave of independent candidate pairs.
+
+        For every splittable class: the representative (shallowest member,
+        as in the serial path) versus up to ``2 ** wave_index`` other
+        members — a doubling ramp, so a huge class parallelizes within a
+        few waves while early waves (where one counterexample often splits
+        the whole class) waste few speculative queries.  The wave is
+        sorted by (deepest cone level, rep, member): cheap miters first,
+        and a canonical dispatch order that fixes shard query sequences
+        and the merge order.
+        """
+        per_class_cap = 1 << min(wave_index, 16)
+        network = self.network
+        wave: list[tuple[int, int, bool]] = []
+        for cls in classes.splittable():
+            rep = min(cls, key=lambda uid: (network.level(uid), uid))
+            rep_phase = classes.phase(rep)
+            others = [uid for uid in cls if uid != rep]
+            for member in others[:per_class_cap]:
+                wave.append(
+                    (rep, member, rep_phase != classes.phase(member))
+                )
+        wave.sort(
+            key=lambda pair: (
+                max(network.level(pair[0]), network.level(pair[1])),
+                pair[0],
+                pair[1],
+            )
+        )
+        return wave
+
+    def _run_sat_phase_parallel(
+        self,
+        classes: EquivalenceClasses,
+        metrics: SweepMetrics,
+        result: SweepResult,
+    ) -> SweepResult:
+        """Wave-scheduled SAT phase over a :class:`CheckerPool`.
+
+        Each round snapshots the splittable classes into a wave of
+        independent pairs, checks them concurrently, then merges verdicts
+        in canonical dispatch order: UNSAT merges, SAT counterexamples are
+        queued and absorbed through one batched resimulation, UNKNOWN
+        isolates (and feeds the escalation ladder).  The budget is polled
+        between waves; expiry abandons outstanding queries as UNKNOWN-
+        degraded pairs, which stay unresolved — never guessed.
+        """
+        config = self.config
+        budget = config.budget
+        ladder_on = (
+            config.max_escalations > 0 and config.sat_conflict_limit is not None
+        )
+        escalation_queue: list[tuple[int, int, bool, int]] = []
+        self._pending_cex.clear()
+        self._resim_sim = self.simulator
+        self._resim_targets = classes.num_members
+        base_worker_time = 0.0
+        start = time.perf_counter()
+        pool = CheckerPool(
+            self.network,
+            config.jobs,
+            shards=config.sat_shards,
+            conflict_limit=config.sat_conflict_limit,
+            incremental=config.incremental_sat,
+            chaos_kill_pair=config.chaos_kill_pair,
+        )
+        try:
+            wave_index = 0
+            while True:
+                if budget is not None and budget.expired():
+                    metrics.deadline_expired = True
+                    break
+                self._flush_cex(classes, metrics)
+                wave = self._build_wave(classes, wave_index)
+                if not wave:
+                    break
+                wave_index += 1
+                metrics.waves += 1
+                verdicts = pool.check_pairs(wave, budget=budget)
+                for (rep, member, complemented), verdict in zip(wave, verdicts):
+                    base_worker_time += verdict.sat_time
+                    metrics.sat_calls += 1
+                    if budget is not None and not verdict.degraded:
+                        budget.charge_sat_call()
+                        budget.charge_conflicts(verdict.conflicts)
+                    self._notify("sat", metrics.sat_calls, classes.cost())
+                    if verdict.outcome is SatResult.UNSAT:
+                        metrics.proven += 1
+                        result.equivalences.append((rep, member, complemented))
+                        classes.remove_member(member)
+                    elif verdict.outcome is SatResult.SAT:
+                        metrics.disproven += 1
+                        if config.resimulate_cex and verdict.vector is not None:
+                            self.queue_counterexample(
+                                verdict.vector, rep, member
+                            )
+                            if len(self._pending_cex) >= config.cex_batch_width:
+                                self._flush_cex(classes, metrics)
+                        elif classes.same_class(rep, member):
+                            classes.isolate(member)
+                    else:
+                        metrics.unknown += 1
+                        classes.isolate(member)
+                        if ladder_on:
+                            escalation_queue.append(
+                                (rep, member, complemented, 1)
+                            )
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+        try:
+            self._flush_cex(classes, metrics)
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+            self._pending_cex.clear()
+        self._charge_attempt_time(metrics, 0, base_worker_time)
+        metrics.worker_sat_time += base_worker_time
+        try:
+            if escalation_queue and not metrics.interrupted:
+                self._run_escalations_parallel(
+                    escalation_queue, classes, metrics, result, pool
+                )
+        finally:
+            metrics.worker_failures += pool.worker_failures
+            pool.close()
+        metrics.sat_time += time.perf_counter() - start
+        return result
+
+    def _run_escalations_parallel(
+        self,
+        queue: list[tuple[int, int, bool, int]],
+        classes: EquivalenceClasses,
+        metrics: SweepMetrics,
+        result: SweepResult,
+        pool: CheckerPool,
+    ) -> None:
+        """Escalation ladder over the pool: one wave per pending rung set.
+
+        Same semantics as :meth:`_run_escalations`, but every pair of the
+        current rung set is retried concurrently; the stable shard routing
+        sends a retry to the solver that already learnt that miter's
+        clauses.
+        """
+        config = self.config
+        budget = config.budget
+        base_limit = config.sat_conflict_limit
+        try:
+            while queue:
+                if budget is not None and budget.expired():
+                    metrics.deadline_expired = True
+                    break
+                wave, queue = queue, []
+                limits = [
+                    base_limit * (config.escalation_factor ** rung)
+                    for _, _, _, rung in wave
+                ]
+                verdicts = pool.check_pairs(
+                    [(rep, member, comp) for rep, member, comp, _ in wave],
+                    limits=limits,
+                    budget=budget,
+                )
+                for (rep, member, complemented, rung), verdict in zip(
+                    wave, verdicts
+                ):
+                    self._charge_attempt_time(metrics, rung, verdict.sat_time)
+                    metrics.worker_sat_time += verdict.sat_time
+                    metrics.sat_calls += 1
+                    metrics.escalations += 1
+                    if budget is not None and not verdict.degraded:
+                        budget.charge_sat_call()
+                        budget.charge_conflicts(verdict.conflicts)
+                    self._notify("escalate", metrics.sat_calls, classes.cost())
+                    if verdict.outcome is SatResult.UNSAT:
+                        metrics.unknown -= 1
+                        metrics.proven += 1
+                        result.equivalences.append((rep, member, complemented))
+                        if classes.tracked(member):
+                            classes.remove_member(member)
+                    elif verdict.outcome is SatResult.SAT:
+                        metrics.unknown -= 1
+                        metrics.disproven += 1
+                        if config.resimulate_cex and verdict.vector is not None:
+                            self.queue_counterexample(verdict.vector)
+                    elif rung < config.max_escalations:
+                        queue.append((rep, member, complemented, rung + 1))
+                    else:
+                        metrics.unknown_after_escalation += 1
+                self._flush_cex(classes, metrics)
+        except KeyboardInterrupt:
+            metrics.interrupted = True
+            self._pending_cex.clear()
 
     # ------------------------------------------------------------------
     # UNKNOWN escalation ladder

@@ -131,6 +131,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         random_width=args.patterns,
         budget=_run_budget(args),
         max_escalations=2 if args.escalate else 0,
+        jobs=args.jobs,
     )
     engine = SweepEngine(network, generator, config)
     result = engine.run()
@@ -174,6 +175,7 @@ def _cmd_cec(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             budget=_run_budget(args),
             max_escalations=2 if args.escalate else 0,
+            jobs=args.jobs,
         ),
     )
     verdict = result.verdict.upper()
@@ -258,6 +260,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     forwarded += ["-o", args.output, "--seed", str(args.seed)]
     if args.min_speedup is not None:
         forwarded += ["--min-speedup", str(args.min_speedup)]
+    if args.baseline is not None:
+        forwarded += [
+            "--baseline", args.baseline,
+            "--max-regression", str(args.max_regression),
+        ]
     return bench_main(forwarded)
 
 
@@ -297,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
         "--escalate", action="store_true",
         help="retry conflict-limited pairs with growing limits (20k->80k->320k)",
     )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="SAT-phase worker processes (results identical for any N)",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -316,6 +327,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--json", metavar="FILE",
         help="write a machine-readable verdict report (includes conclusive)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="SAT-phase worker processes (verdicts identical for any N)",
     )
     p.set_defaults(fn=_cmd_cec)
 
@@ -350,6 +365,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="fail unless end-to-end speedup vs seed reaches this factor",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="committed BENCH_perf.json to gate speedup ratios against",
+    )
+    p.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional speedup drop vs --baseline (default 0.25)",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -9,6 +9,7 @@ from repro.logic.cubes import (
     Cube,
     Row,
     isop,
+    isop_cover,
     iter_minterms,
     matching_rows,
     packed_rows,
@@ -139,6 +140,14 @@ class TestIsop:
                 if i != skip:
                     partial.update(iter_minterms(cube))
             assert partial != full
+
+    @given(tables)
+    def test_isop_cover_matches_isop(self, tt):
+        assert list(isop_cover(tt)) == isop(tt)
+
+    def test_isop_cover_is_memoized(self):
+        tt = TruthTable(3, 0b10010110)
+        assert isop_cover(tt) is isop_cover(TruthTable(3, 0b10010110))
 
 
 class TestRowsOf:

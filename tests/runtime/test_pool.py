@@ -1,0 +1,118 @@
+"""CheckerPool: canonical-order verdicts, chaos degradation, budgets."""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.network import NetworkBuilder
+from repro.runtime import Budget, CheckerPool
+from repro.sat.solver import SatResult
+from repro.simulation.simulator import Simulator
+
+
+def triple_network():
+    """g1 == g2 (same AND), g3 differs, g4 == NOT g1 (NAND)."""
+    builder = NetworkBuilder("pool")
+    a, b = builder.pis(2)
+    g1 = builder.and_(a, b, "g1")
+    g2 = builder.and_(a, b, "g2")
+    g3 = builder.or_(a, b, "g3")
+    g4 = builder.nand_(a, b, "g4")
+    builder.po(g3, "f")
+    return builder.build(), (g1, g2, g3, g4)
+
+
+def standard_pairs(nodes):
+    g1, g2, g3, g4 = nodes
+    return [
+        (g1, g2, False),  # equal -> UNSAT
+        (g1, g3, False),  # different -> SAT + counterexample
+        (g1, g4, True),  # complement-equal -> UNSAT
+    ]
+
+
+class TestCheckPairs:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_verdicts_in_dispatch_order(self, jobs):
+        net, nodes = triple_network()
+        with CheckerPool(net, jobs) as pool:
+            verdicts = pool.check_pairs(standard_pairs(nodes))
+        assert [v.outcome for v in verdicts] == [
+            SatResult.UNSAT,
+            SatResult.SAT,
+            SatResult.UNSAT,
+        ]
+        assert not any(v.degraded for v in verdicts)
+
+    def test_counterexample_vector_distinguishes_the_pair(self):
+        net, nodes = triple_network()
+        g1, _, g3, _ = nodes
+        with CheckerPool(net, 2) as pool:
+            (_, sat, _) = pool.check_pairs(standard_pairs(nodes))
+        import random
+
+        total = sat.vector.completed(net.pis, random.Random(0))
+        values = Simulator(net).run_vector(total.values)
+        assert (values[g1] ^ values[g3]) & 1
+
+    def test_repeated_calls_reuse_the_pool(self):
+        net, nodes = triple_network()
+        g1, g2, _, _ = nodes
+        with CheckerPool(net, 2) as pool:
+            first = pool.check_pairs([(g1, g2, False)])
+            second = pool.check_pairs([(g1, g2, False)])
+        assert first[0].outcome is SatResult.UNSAT
+        assert second[0].outcome is SatResult.UNSAT
+
+    def test_worker_conflicts_and_time_are_reported(self):
+        net, nodes = triple_network()
+        with CheckerPool(net, 2) as pool:
+            verdicts = pool.check_pairs(standard_pairs(nodes))
+        assert all(v.sat_time >= 0.0 for v in verdicts)
+        assert all(v.conflicts >= 0 for v in verdicts)
+
+
+class TestFaults:
+    def test_killed_worker_degrades_only_its_pair(self):
+        net, nodes = triple_network()
+        g1, g2, _, _ = nodes
+        with CheckerPool(net, 2, chaos_kill_pair=(g1, g2)) as pool:
+            verdicts = pool.check_pairs(standard_pairs(nodes))
+            assert pool.worker_failures == 1
+        poisoned, sat, comp = verdicts
+        assert poisoned.degraded
+        assert poisoned.outcome is SatResult.UNKNOWN
+        assert poisoned.vector is None
+        # The surviving pairs still get real answers (respawned worker
+        # serves the tasks that were queued behind the poisoned one).
+        assert sat.outcome is SatResult.SAT and not sat.degraded
+        assert comp.outcome is SatResult.UNSAT and not comp.degraded
+
+    def test_expired_deadline_degrades_outstanding_pairs(self):
+        net, nodes = triple_network()
+        with CheckerPool(net, 2) as pool:
+            verdicts = pool.check_pairs(
+                standard_pairs(nodes), budget=Budget(seconds=0)
+            )
+        assert all(v.degraded for v in verdicts)
+        assert all(v.outcome is SatResult.UNKNOWN for v in verdicts)
+
+    def test_closed_pool_rejects_work(self):
+        net, nodes = triple_network()
+        pool = CheckerPool(net, 1)
+        pool.close()
+        with pytest.raises(SweepError):
+            pool.check_pairs(standard_pairs(nodes))
+
+    def test_invalid_worker_count_rejected(self):
+        net, _ = triple_network()
+        with pytest.raises(SweepError):
+            CheckerPool(net, 0)
+
+
+class TestRouting:
+    def test_shard_routing_is_stable_and_jobs_independent(self):
+        net, _ = triple_network()
+        with CheckerPool(net, 1) as one, CheckerPool(net, 4) as four:
+            for rep, member in [(3, 4), (3, 5), (10, 99)]:
+                assert one.shard_of(rep, member) == four.shard_of(rep, member)
+                assert 0 <= one.shard_of(rep, member) < one.shards

@@ -113,3 +113,43 @@ class TestRepeatedSolving:
             solver.add_clause([-selector])
         # The base problem must still be SAT at the end.
         assert solver.solve() is SatResult.SAT
+
+
+class TestLearntReduction:
+    """LBD-based learnt-clause DB reduction under a forced-low cap."""
+
+    def test_unsat_verdict_survives_reductions(self):
+        solver = CdclSolver()
+        solver.add_cnf(pigeonhole(6, 5))
+        solver._learnt_cap = 32
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.stats["reductions"] >= 1
+        assert solver.stats["learnts_deleted"] >= 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_verdicts_match_unreduced_solver(self, seed):
+        rng = random.Random(9000 + seed)
+        cnf = Cnf(24)
+        for _ in range(100):
+            clause = rng.sample(range(1, 25), 3)
+            cnf.add_clause([rng.choice([1, -1]) * v for v in clause])
+        reduced = CdclSolver()
+        reduced.add_cnf(cnf)
+        reduced._learnt_cap = 16
+        plain = CdclSolver()
+        plain.add_cnf(cnf)
+        verdict = reduced.solve()
+        assert verdict is plain.solve()
+        if verdict is SatResult.SAT:
+            assert cnf.evaluate(reduced.model())
+
+    def test_glue_clauses_are_never_deleted(self):
+        solver = CdclSolver()
+        solver.add_cnf(pigeonhole(6, 5))
+        solver._learnt_cap = 32
+        solver.solve()
+        # Clauses with LBD <= 2 ("glue") are pinned by _reduce_learnts.
+        assert solver.stats["learnts_deleted"] > 0
+        assert all(
+            solver._clauses[ci] is not None for ci in solver._learnts
+        )

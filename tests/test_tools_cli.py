@@ -69,6 +69,29 @@ class TestCommands:
         assert "SAT calls" in capsys.readouterr().out
         assert networks_equal(net, read_blif(out_path))
 
+    def test_sweep_parallel_jobs(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        out_path = tmp_path / "reduced.blif"
+        code = main(
+            [
+                "sweep", str(path), "-o", str(out_path),
+                "--iterations", "3", "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "SAT calls" in capsys.readouterr().out
+        assert networks_equal(net, read_blif(out_path))
+
+    def test_cec_parallel_jobs(self, blif_file, tmp_path, capsys):
+        net, path = blif_file
+        other = tmp_path / "copy.blif"
+        other.write_text(blif_text(net), encoding="utf-8")
+        code = main(
+            ["cec", str(path), str(other), "--iterations", "3", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
     def test_cec_equivalent(self, blif_file, tmp_path, capsys):
         net, path = blif_file
         other = tmp_path / "copy.blif"
