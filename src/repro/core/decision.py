@@ -102,6 +102,8 @@ class DecisionEngine:
         self._node_rows: dict[
             int, Optional[tuple[tuple[int, ...], tuple[Row, ...]]]
         ] = {}
+        #: Work counters for the metrics registry (``simgen.decision.*``).
+        self.stats = {"decisions": 0, "conflicts": 0, "rows_committed": 0}
 
     def _rows_at(
         self, uid: int
@@ -190,11 +192,14 @@ class DecisionEngine:
         Only previously unassigned pins are written, so committing a
         matching row can never raise a conflict.
         """
+        self.stats["decisions"] += 1
         rows = self.candidate_rows(assignment, uid)
         if rows is None:
+            self.stats["conflicts"] += 1
             return DecisionResult(row=None, conflict=True, assigned=[])
         if not rows:
             return DecisionResult(row=None, conflict=False, assigned=[])
+        self.stats["rows_committed"] += 1
         if self.strategy is DecisionStrategy.RANDOM:
             row = self.rng.choice(rows)
         else:

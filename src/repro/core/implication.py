@@ -132,6 +132,15 @@ class ImplicationEngine:
         ] = {}
         #: uid -> (uid, *fanouts): nodes to re-examine when uid changes.
         self._examiners: dict[int, tuple[int, ...]] = {}
+        #: Work counters for the metrics registry (``simgen.implication.*``).
+        #: Updated once per :meth:`propagate` call (never inside the inner
+        #: fixpoint loop, which is the generator's hottest path).
+        self.stats = {
+            "propagate_calls": 0,
+            "examinations": 0,
+            "forced_assignments": 0,
+            "conflicts": 0,
+        }
         for node in network.nodes():
             uid = node.uid
             self._gate_info[uid] = (
@@ -250,6 +259,7 @@ class ImplicationEngine:
         gate_info = self._gate_info
         values = assignment._values
         changed = outcome.changed_nodes
+        examined = 0  # folded into self.stats once, on any exit path
 
         # Each examined node's :meth:`examine` body is inlined below
         # (shared state lookup + memo probe) — the fixpoint loop is the
@@ -263,49 +273,58 @@ class ImplicationEngine:
                     queued.add(cand)
                     queue.append(cand)
 
-        while queue:
-            uid = queue.popleft()
-            queued.discard(uid)
-            info = gate_info[uid]
-            if info is None:  # PI or constant: nothing to force
-                continue
-            fanins, rows, memo = info
-            known_mask = 0
-            known_values = 0
-            for i, f in enumerate(fanins):
-                v = values.get(f)
-                if v is not None:
-                    known_mask |= 1 << i
-                    if v:
-                        known_values |= 1 << i
-            output = values.get(uid)
-            key = (known_mask, known_values, output)
-            n = len(fanins)
-            forced = memo.get(key, False)
-            if forced is False:
-                forced = memo[key] = self._examine_state(
-                    rows, n, known_mask, known_values, output
-                )
-            if forced is None:
-                outcome.conflict = True
-                outcome.conflict_node = uid
-                return outcome
-            for i, value in forced:
-                target = uid if i == n else fanins[i]
-                try:
-                    fresh = assignment.assign(target, value)
-                except Conflict:
-                    # Cannot happen for pins of `uid` (rows matched the
-                    # assignment), but a forced value may clash at a node
-                    # shared with another pending implication path.
+        try:
+            while queue:
+                uid = queue.popleft()
+                queued.discard(uid)
+                examined += 1
+                info = gate_info[uid]
+                if info is None:  # PI or constant: nothing to force
+                    continue
+                fanins, rows, memo = info
+                known_mask = 0
+                known_values = 0
+                for i, f in enumerate(fanins):
+                    v = values.get(f)
+                    if v is not None:
+                        known_mask |= 1 << i
+                        if v:
+                            known_values |= 1 << i
+                output = values.get(uid)
+                key = (known_mask, known_values, output)
+                n = len(fanins)
+                forced = memo.get(key, False)
+                if forced is False:
+                    forced = memo[key] = self._examine_state(
+                        rows, n, known_mask, known_values, output
+                    )
+                if forced is None:
                     outcome.conflict = True
-                    outcome.conflict_node = target
+                    outcome.conflict_node = uid
                     return outcome
-                if fresh:
-                    outcome.assigned += 1
-                    changed.append(target)
-                    for cand in examiners[target]:
-                        if cand not in queued:
-                            queued.add(cand)
-                            queue.append(cand)
-        return outcome
+                for i, value in forced:
+                    target = uid if i == n else fanins[i]
+                    try:
+                        fresh = assignment.assign(target, value)
+                    except Conflict:
+                        # Cannot happen for pins of `uid` (rows matched the
+                        # assignment), but a forced value may clash at a node
+                        # shared with another pending implication path.
+                        outcome.conflict = True
+                        outcome.conflict_node = target
+                        return outcome
+                    if fresh:
+                        outcome.assigned += 1
+                        changed.append(target)
+                        for cand in examiners[target]:
+                            if cand not in queued:
+                                queued.add(cand)
+                                queue.append(cand)
+            return outcome
+        finally:
+            stats = self.stats
+            stats["propagate_calls"] += 1
+            stats["examinations"] += examined
+            stats["forced_assignments"] += outcome.assigned
+            if outcome.conflict:
+                stats["conflicts"] += 1

@@ -76,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         help="SAT-phase worker processes per sweep (results identical "
         "for any N)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a structured JSONL trace of every sweep "
+        "(analyze with `python -m repro.tools trace FILE`)",
+    )
     args = parser.parse_args(argv)
     config = _config(args)
     config.num_seeds = max(1, args.seeds)
@@ -83,6 +88,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.escalate:
         config.max_escalations = 2
     config.jobs = max(1, args.jobs)
+    config.trace_path = args.trace
     runner = ExperimentRunner(config)
 
     chosen = args.experiment
@@ -93,18 +99,23 @@ def main(argv: list[str] | None = None) -> int:
         results.append(result)
         outputs.append(result.render())
 
-    if chosen in ("table1", "all"):
-        record(run_table1(config, runner, verbose=args.verbose))
-    if chosen in ("table2", "all"):
-        record(run_table2(config, runner, verbose=args.verbose))
-    if chosen in ("table2-scaled", "all"):
-        record(run_table2(config, runner, scaled=True, verbose=args.verbose))
-    if chosen in ("fig5", "all"):
-        record(run_fig5(config, runner, verbose=args.verbose))
-    if chosen in ("fig6", "all"):
-        record(run_fig6(config, runner, verbose=args.verbose))
-    if chosen in ("fig7", "all"):
-        record(run_fig7(config, runner, verbose=args.verbose))
+    try:
+        if chosen in ("table1", "all"):
+            record(run_table1(config, runner, verbose=args.verbose))
+        if chosen in ("table2", "all"):
+            record(run_table2(config, runner, verbose=args.verbose))
+        if chosen in ("table2-scaled", "all"):
+            record(run_table2(config, runner, scaled=True, verbose=args.verbose))
+        if chosen in ("fig5", "all"):
+            record(run_fig5(config, runner, verbose=args.verbose))
+        if chosen in ("fig6", "all"):
+            record(run_fig6(config, runner, verbose=args.verbose))
+        if chosen in ("fig7", "all"):
+            record(run_fig7(config, runner, verbose=args.verbose))
+    finally:
+        runner.close()
+    if args.trace:
+        print(f"trace -> {args.trace}", file=sys.stderr)
     elapsed = time.perf_counter() - start
     if args.json:
         from repro.experiments.serialize import dump_results

@@ -78,6 +78,9 @@ class ExperimentConfig:
     #: SAT-phase worker processes per sweep (1 = in-process serial path;
     #: results are identical for any value).
     jobs: int = 1
+    #: Structured JSONL trace file shared by every sweep of the harness
+    #: (None = tracing disabled).  Opened lazily by the runner.
+    trace_path: Optional[str] = None
     #: Generator seeds averaged per (benchmark, strategy) in Table 1.  The
     #: paper's decision-heuristic deltas are fractions of a percent; at our
     #: scale a single seed's noise exceeds them, so Table 1 supports

@@ -342,6 +342,10 @@ class SweepTrace:
     seconds: float = 0.0
     sat_phase_s: float = 0.0
     waves: int = 0
+    #: Where the seconds went (sim vs solver vs SAT-phase wall), from the
+    #: sweep's own accounting — lets BENCH_perf.json answer "what got
+    #: slower" without rerunning under a profiler.
+    attribution: dict = field(default_factory=dict)
 
     def same_results(self, other: "SweepTrace") -> bool:
         return (
@@ -398,8 +402,15 @@ def _run_sweep(
         equivalences=list(result.equivalences),
         classes=result.classes.all_classes(),
         seconds=seconds,
-        sat_phase_s=metrics.sat_time,
+        sat_phase_s=metrics.sat_phase_time,
         waves=metrics.waves,
+        attribution={
+            "sim_s": round(metrics.sim_time, 4),
+            "sat_solver_s": round(metrics.sat_time, 4),
+            "sat_phase_s": round(metrics.sat_phase_time, 4),
+            "worker_sat_s": round(metrics.worker_sat_time, 4),
+            "degraded_pairs": metrics.degraded_pairs,
+        },
     )
 
 
@@ -482,6 +493,7 @@ def _measure_worker_scaling(
             runs[str(jobs)] = {
                 "total_s": round(trace.seconds, 4),
                 "sat_phase_s": round(trace.sat_phase_s, 4),
+                "worker_sat_s": trace.attribution["worker_sat_s"],
                 "sat_calls": trace.sat_calls,
                 "waves": trace.waves,
                 "sat_speedup": round(
@@ -618,6 +630,7 @@ def run_perf_bench(
             if compiled.seconds
             else None,
             "identical": True,
+            "attribution": compiled.attribution,
         }
         rows.append(row)
         if verbose:

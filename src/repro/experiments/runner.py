@@ -15,6 +15,7 @@ from repro.benchgen.suite import sweep_instance
 from repro.core.strategies import make_generator
 from repro.experiments.config import ExperimentConfig
 from repro.network.network import Network
+from repro.obs import NULL_TRACER
 from repro.runtime.budget import Budget
 from repro.sweep.engine import SweepConfig, SweepEngine
 
@@ -50,6 +51,35 @@ class ExperimentRunner:
         # Whole runs are deterministic (seeded), so identical requests can
         # be served from cache — e.g. Figure 5 reuses Table 2's sweeps.
         self._runs: dict[tuple[str, str, bool, int, int], BenchmarkRun] = {}
+        self._tracer = None  # opened lazily from config.trace_path
+
+    @property
+    def tracer(self):
+        """The harness-wide tracer (:data:`NULL_TRACER` when disabled).
+
+        All sweeps of one experiment invocation share a single trace file;
+        each run gets its own ``run`` span (cache hits emit nothing).
+        """
+        if self._tracer is None:
+            if self.config.trace_path is None:
+                self._tracer = NULL_TRACER
+            else:
+                from repro.obs import Tracer
+
+                self._tracer = Tracer(
+                    self.config.trace_path,
+                    meta={
+                        "command": "experiments",
+                        "jobs": self.config.jobs,
+                        "seed": self.config.seed,
+                    },
+                )
+        return self._tracer
+
+    def close(self) -> None:
+        """Flush and close the trace file (no-op when tracing is off)."""
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.close()
 
     def instance(self, benchmark: str, copies: int = 1) -> Network:
         """The (cached) LUT-mapped sweep instance of a benchmark."""
@@ -75,6 +105,7 @@ class ExperimentRunner:
             max_escalations=cfg.max_escalations,
             escalation_factor=cfg.escalation_factor,
             jobs=cfg.jobs,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
 
     def run(
@@ -113,9 +144,16 @@ class ExperimentRunner:
                 max_targets=cfg.max_targets,
             )
         engine = SweepEngine(network, generator, self.sweep_config())
-        classes, metrics = engine.run_simulation_phase()
-        if with_sat:
-            engine.run_sat_phase(classes, metrics)
+        with self.tracer.span(
+            "run",
+            kind="experiment",
+            benchmark=benchmark,
+            strategy=strategy,
+            copies=copies,
+        ):
+            classes, metrics = engine.run_simulation_phase()
+            if with_sat:
+                engine.run_sat_phase(classes, metrics)
         self._runs[key] = BenchmarkRun(
             benchmark=benchmark,
             strategy=strategy,

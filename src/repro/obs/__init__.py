@@ -1,0 +1,47 @@
+"""Observability: structured tracing + a typed metrics registry.
+
+``repro.obs`` is the substrate every perf claim reports against (see
+``docs/OBSERVABILITY.md``): a :class:`Tracer` that records structured
+JSONL span/event streams with near-zero overhead when disabled, a
+:class:`MetricsRegistry` of typed counters/timers/histograms that the
+engines record into, a versioned schema validator, and a trace analyzer
+(``repro.tools trace``).
+"""
+
+from repro.obs.analyze import TraceSummary, render, summarize
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.schema import (
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    validate_file,
+    validate_records,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    deterministic_projection,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "TraceSummary",
+    "Tracer",
+    "deterministic_projection",
+    "load_trace",
+    "render",
+    "summarize",
+    "validate_file",
+    "validate_records",
+]

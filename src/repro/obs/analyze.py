@@ -1,0 +1,196 @@
+"""Trace analysis: turn a JSONL trace into attribution a human can read.
+
+This is the consumer side of the observability layer — ``repro.tools
+trace FILE`` prints, from one recorded sweep/CEC run:
+
+* per-phase wall-time attribution (random / guided / SAT) and how well the
+  phase spans reconcile with the run's total wall time;
+* the SAT-vs-simulation time split, with SAT time broken down per
+  escalation rung and resimulation shown separately;
+* the class-refinement curve (Equation-5 cost per step);
+* per-wave dispatch sizes and durations of the parallel SAT path;
+* the top-k hottest pairs (the SAT queries that ate the run).
+
+The analyzer only reads the documented schema (:mod:`repro.obs.schema`);
+it ignores record names it does not know, so downstream tools can add
+events without breaking it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Everything :func:`summarize` extracts from one trace."""
+
+    meta: dict = field(default_factory=dict)
+    #: Wall time of the outermost ``run`` span (0.0 if absent).
+    total_s: float = 0.0
+    #: phase name -> wall seconds of its span(s).
+    phases: dict = field(default_factory=dict)
+    #: (phase, step, cost) refinement curve in record order.
+    refinement: list = field(default_factory=list)
+    #: SAT call events: list of dicts (rep, member, verdict, conflicts,
+    #: rung, dur, wave?, degraded?).
+    sat_calls: list = field(default_factory=list)
+    #: rung -> summed SAT seconds.
+    rung_time: dict = field(default_factory=dict)
+    #: Simulation seconds from refine events (per phase) + resim flushes.
+    sim_event_s: float = 0.0
+    resim_s: float = 0.0
+    resim_flushes: int = 0
+    #: wave index -> {"size": n, "dur": s}.
+    waves: dict = field(default_factory=dict)
+    #: Final counters dump, if the trace carries one.
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def sat_s(self) -> float:
+        return sum(call.get("dur", 0.0) for call in self.sat_calls)
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Fraction of the run covered by phase spans (None without a run)."""
+        if not self.total_s:
+            return None
+        return sum(self.phases.values()) / self.total_s
+
+
+def summarize(records: list) -> TraceSummary:
+    """Aggregate a parsed trace (see :func:`repro.obs.schema.load_trace`)."""
+    summary = TraceSummary()
+    begin_names: dict[int, dict] = {}
+    open_runs: set[int] = set()
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "header":
+            summary.meta = record.get("meta", {})
+        elif rtype == "begin":
+            begin_names[record.get("id")] = record
+            if record.get("name") == "run":
+                open_runs.add(record.get("id"))
+        elif rtype == "end":
+            opened = begin_names.pop(record.get("id"), {})
+            name = record.get("name", opened.get("name"))
+            dur = float(record.get("dur", 0.0))
+            if name == "run":
+                open_runs.discard(record.get("id"))
+                # Only the outermost run span counts toward the total (a
+                # CEC run wraps its sweep's run span).
+                if not open_runs:
+                    summary.total_s += dur
+            elif name == "phase":
+                phase = opened.get("phase", record.get("phase", "?"))
+                summary.phases[phase] = summary.phases.get(phase, 0.0) + dur
+            elif name == "wave":
+                index = opened.get("wave", len(summary.waves))
+                summary.waves[index] = {
+                    "size": opened.get("size", 0),
+                    "dur": dur,
+                }
+        elif rtype == "event":
+            name = record.get("name")
+            if name == "refine":
+                summary.refinement.append(
+                    (
+                        record.get("phase", "?"),
+                        record.get("step", len(summary.refinement)),
+                        record.get("cost"),
+                    )
+                )
+                summary.sim_event_s += float(record.get("dur", 0.0))
+            elif name == "sat.call":
+                summary.sat_calls.append(record)
+                rung = record.get("rung", 0)
+                summary.rung_time[rung] = summary.rung_time.get(
+                    rung, 0.0
+                ) + float(record.get("dur", 0.0))
+            elif name == "resim.flush":
+                summary.resim_flushes += 1
+                summary.resim_s += float(record.get("dur", 0.0))
+        elif rtype == "counters":
+            summary.counters = record.get("values", {})
+    return summary
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.4f}s"
+
+
+def render(summary: TraceSummary, top: int = 5) -> str:
+    """Human-readable report of one trace."""
+    lines: list[str] = []
+    if summary.meta:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(summary.meta.items()))
+        lines.append(f"trace meta      : {parts}")
+    lines.append(f"total wall time : {_fmt_seconds(summary.total_s)}")
+    lines.append("per-phase attribution:")
+    for phase, dur in summary.phases.items():
+        share = f" ({dur / summary.total_s:5.1%})" if summary.total_s else ""
+        lines.append(f"  {phase:<8s} {_fmt_seconds(dur)}{share}")
+    coverage = summary.coverage
+    if coverage is not None:
+        lines.append(
+            f"phase coverage  : {coverage:.1%} of the run "
+            "(gaps = setup between phases)"
+        )
+    sat_s = summary.sat_s
+    sim_s = summary.sim_event_s + summary.resim_s
+    lines.append(
+        f"SAT vs sim      : sat {_fmt_seconds(sat_s)} "
+        f"({len(summary.sat_calls)} calls) | sim {_fmt_seconds(sim_s)} "
+        f"(incl. {summary.resim_flushes} resim flushes, "
+        f"{_fmt_seconds(summary.resim_s)})"
+    )
+    if summary.rung_time:
+        rungs = "  ".join(
+            f"rung{rung} {_fmt_seconds(dur)}"
+            for rung, dur in sorted(summary.rung_time.items())
+        )
+        lines.append(f"SAT per attempt : {rungs}")
+    verdicts: dict[str, int] = {}
+    degraded = 0
+    conflicts = 0
+    for call in summary.sat_calls:
+        verdicts[call.get("verdict", "?")] = (
+            verdicts.get(call.get("verdict", "?"), 0) + 1
+        )
+        degraded += 1 if call.get("degraded") else 0
+        conflicts += int(call.get("conflicts", 0))
+    if verdicts:
+        counts = "  ".join(f"{k}={v}" for k, v in sorted(verdicts.items()))
+        lines.append(
+            f"SAT verdicts    : {counts}  conflicts={conflicts}"
+            + (f"  degraded={degraded}" if degraded else "")
+        )
+    if summary.waves:
+        lines.append("waves:")
+        for index in sorted(summary.waves):
+            wave = summary.waves[index]
+            lines.append(
+                f"  wave {index:<3d} size {wave['size']:<5d} "
+                f"{_fmt_seconds(wave['dur'])}"
+            )
+    if summary.refinement:
+        costs = [cost for _, _, cost in summary.refinement if cost is not None]
+        if costs:
+            lines.append(
+                f"refinement curve: {len(summary.refinement)} steps, "
+                f"cost {costs[0]} -> {costs[-1]}"
+            )
+    hottest = sorted(
+        summary.sat_calls, key=lambda c: c.get("dur", 0.0), reverse=True
+    )[:top]
+    if hottest:
+        lines.append(f"top {len(hottest)} hottest pairs:")
+        for call in hottest:
+            lines.append(
+                f"  ({call.get('rep')},{call.get('member')}) "
+                f"verdict={call.get('verdict')} rung={call.get('rung', 0)} "
+                f"conflicts={call.get('conflicts', 0)} "
+                f"{_fmt_seconds(float(call.get('dur', 0.0)))}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Typed metrics: counters, timers, histograms, and a registry.
+
+The registry replaces ad-hoc ``time.perf_counter()`` bookkeeping with
+named, typed instruments that every layer (simulation, generator engines,
+pair checker, SAT solver, worker pool) can record into and that merge
+deterministically — worker-side measurements forwarded through the pool
+are folded in dispatch order, so two runs at different worker counts
+produce identical integer totals (and float totals summed in the same
+order).
+
+Instruments:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`Timer` — accumulated seconds plus an invocation count; use
+  :meth:`Timer.time` as a context manager (it closes on every exit path,
+  including exceptions) or :meth:`Timer.add` for externally-measured
+  windows.
+* :class:`Histogram` — fixed-bound buckets; bucket counts of integral
+  quantities (conflicts per call, wave sizes) are deterministic, which is
+  why duration histograms are deliberately not used in golden traces.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+#: Default histogram bounds, tuned for conflict counts per SAT query.
+DEFAULT_BOUNDS: tuple[int, ...] = (0, 1, 2, 5, 10, 20, 50, 100, 500, 5000)
+
+
+class Counter:
+    """A named monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class _TimerWindow:
+    __slots__ = ("_timer", "_clock", "_start")
+
+    def __init__(self, timer: "Timer", clock: Callable[[], float]):
+        self._timer = timer
+        self._clock = clock
+
+    def __enter__(self) -> "_TimerWindow":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Close on every exit path so no window is ever left dangling.
+        self._timer.add(self._clock() - self._start)
+
+
+class Timer:
+    """Accumulated seconds + call count."""
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+
+    def time(self, clock: Callable[[], float] = time.perf_counter):
+        """``with timer.time(): ...`` — records even when the body raises."""
+        return _TimerWindow(self, clock)
+
+
+class Histogram:
+    """Fixed-bound bucket counts (bucket ``i`` counts values <= bounds[i];
+    the final implicit bucket counts everything larger)."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are dotted (``sat.solve``, ``sweep.proven``); :meth:`as_dict`
+    flattens to sorted keys with the timing convention of
+    :mod:`repro.obs.trace` (seconds keys end in ``_s``) so a registry dump
+    embedded in a trace is automatically split into its deterministic and
+    volatile parts.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # Convenience one-liners for instrumentation sites.
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timer(name).add(seconds)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def inc_many(self, prefix: str, values: dict) -> None:
+        """Fold a plain stats dict (``{key: int}``) under a name prefix."""
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, float):
+                self.add_time(f"{prefix}.{key}", value)
+            elif value:
+                self.inc(f"{prefix}.{key}", value)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (same-name instruments are summed).
+
+        Merging is commutative for integers; timer/second totals are plain
+        float sums, so merge *in a canonical order* when bit-stable totals
+        matter (the pool merges worker measurements in dispatch order).
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, timer in other._timers.items():
+            mine = self.timer(name)
+            mine.total += timer.total
+            mine.count += timer.count
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name, histogram.bounds)
+            if mine.bounds != histogram.bounds:
+                raise ValueError(
+                    f"histogram {name!r} bound mismatch: "
+                    f"{mine.bounds} vs {histogram.bounds}"
+                )
+            for i, bucket in enumerate(histogram.buckets):
+                mine.buckets[i] += bucket
+            mine.count += histogram.count
+            mine.total += histogram.total
+
+    def as_dict(self) -> dict:
+        """Flat, sorted snapshot (stable key order for traces and JSON)."""
+        snapshot: dict = {}
+        for name in sorted(self._counters):
+            snapshot[name] = self._counters[name].value
+        for name in sorted(self._timers):
+            timer = self._timers[name]
+            snapshot[f"{name}.count"] = timer.count
+            snapshot[f"{name}.total_s"] = timer.total
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            snapshot[f"{name}.buckets"] = list(histogram.buckets)
+            snapshot[f"{name}.bucket_count"] = histogram.count
+        return snapshot

@@ -1,0 +1,160 @@
+"""Trace schema (versioned) and its validator.
+
+A trace is a JSONL stream: the first record is a ``header``; every later
+record is a ``begin``, ``end``, ``event``, or ``counters``.  The schema is
+deliberately small and checked with the standard library only (CI runs the
+validator on a freshly recorded sweep trace and fails on unclosed spans,
+negative durations, or malformed records — see
+``repro.tools trace FILE --validate``).
+
+Schema v1 record shapes
+-----------------------
+
+=========  ==================================================================
+type       required fields
+=========  ==================================================================
+header     ``schema`` (int), ``meta`` (object), ``i`` (int)
+begin      ``name`` (str), ``id`` (int), ``t`` (number), ``i``
+end        ``id`` (int), ``t`` (number), ``dur`` (number >= 0), ``i``
+event      ``name`` (str), ``t`` (number), ``i``; optional ``dur`` >= 0
+counters   ``values`` (object), ``i``
+=========  ==================================================================
+
+Cross-record rules: ``i`` is strictly increasing; the header comes first
+and exactly once; every ``begin`` id is closed by exactly one ``end``;
+an ``end`` never precedes (or misses) its ``begin``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+#: Bump when a record shape changes; the validator rejects unknown versions.
+TRACE_SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+
+
+def _check_fields(record: dict, where: str, errors: list[str]) -> None:
+    rtype = record.get("type")
+    if not isinstance(record.get("i"), int):
+        errors.append(f"{where}: missing/invalid sequence field 'i'")
+    if rtype == "header":
+        if record.get("schema") != TRACE_SCHEMA_VERSION:
+            errors.append(
+                f"{where}: unsupported schema {record.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        if not isinstance(record.get("meta"), dict):
+            errors.append(f"{where}: header 'meta' must be an object")
+    elif rtype == "begin":
+        if not isinstance(record.get("name"), str) or not record.get("name"):
+            errors.append(f"{where}: begin requires a non-empty 'name'")
+        if not isinstance(record.get("id"), int):
+            errors.append(f"{where}: begin requires an integer 'id'")
+        if not isinstance(record.get("t"), _NUMBER):
+            errors.append(f"{where}: begin requires numeric 't'")
+    elif rtype == "end":
+        if not isinstance(record.get("id"), int):
+            errors.append(f"{where}: end requires an integer 'id'")
+        if not isinstance(record.get("t"), _NUMBER):
+            errors.append(f"{where}: end requires numeric 't'")
+        dur = record.get("dur")
+        if not isinstance(dur, _NUMBER):
+            errors.append(f"{where}: end requires numeric 'dur'")
+        elif dur < 0:
+            errors.append(f"{where}: negative duration {dur}")
+    elif rtype == "event":
+        if not isinstance(record.get("name"), str) or not record.get("name"):
+            errors.append(f"{where}: event requires a non-empty 'name'")
+        if not isinstance(record.get("t"), _NUMBER):
+            errors.append(f"{where}: event requires numeric 't'")
+        dur = record.get("dur")
+        if dur is not None:
+            if not isinstance(dur, _NUMBER):
+                errors.append(f"{where}: event 'dur' must be numeric")
+            elif dur < 0:
+                errors.append(f"{where}: negative duration {dur}")
+    elif rtype == "counters":
+        if not isinstance(record.get("values"), dict):
+            errors.append(f"{where}: counters requires an object 'values'")
+    else:
+        errors.append(f"{where}: unknown record type {rtype!r}")
+
+
+def validate_records(records: Iterable[dict]) -> list[str]:
+    """Validate parsed trace records; returns the list of problems.
+
+    An empty list means the trace is well-formed: header first, strictly
+    increasing sequence numbers, every span closed with a non-negative
+    duration.
+    """
+    errors: list[str] = []
+    open_spans: dict[int, str] = {}
+    last_seq = -1
+    saw_header = False
+    count = 0
+    for index, record in enumerate(records):
+        count += 1
+        where = f"record {index}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        _check_fields(record, where, errors)
+        seq = record.get("i")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(
+                    f"{where}: sequence 'i' not increasing "
+                    f"({seq} after {last_seq})"
+                )
+            last_seq = seq
+        rtype = record.get("type")
+        if index == 0:
+            saw_header = rtype == "header"
+            if not saw_header:
+                errors.append("record 0: trace must start with a header")
+        elif rtype == "header":
+            errors.append(f"{where}: duplicate header")
+        if rtype == "begin" and isinstance(record.get("id"), int):
+            span_id = record["id"]
+            if span_id in open_spans:
+                errors.append(f"{where}: span id {span_id} already open")
+            open_spans[span_id] = record.get("name", "?")
+        elif rtype == "end" and isinstance(record.get("id"), int):
+            if open_spans.pop(record["id"], None) is None:
+                errors.append(
+                    f"{where}: end for span id {record['id']} "
+                    "without a matching begin"
+                )
+    if count == 0:
+        errors.append("trace is empty")
+    for span_id, name in sorted(open_spans.items()):
+        errors.append(f"unclosed span: id {span_id} ({name!r})")
+    return errors
+
+
+def load_trace(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSONL trace file; raises ``ValueError`` on malformed JSON."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+    return records
+
+
+def validate_file(path: Union[str, Path]) -> list[str]:
+    """Parse + validate a trace file; JSON errors become validation errors."""
+    try:
+        records = load_trace(path)
+    except ValueError as exc:
+        return [str(exc)]
+    return validate_records(records)

@@ -1,0 +1,268 @@
+"""Structured JSONL tracing (the observability substrate of every flow).
+
+A :class:`Tracer` writes one JSON object per line to a sink (a path, an
+open file, or an in-memory list).  The stream starts with a ``header``
+record carrying the schema version, followed by:
+
+* ``begin`` / ``end`` — a *span*: a timed window with a name and
+  attributes (phases, waves).  Every ``begin`` must be matched by an
+  ``end``; the validator (:mod:`repro.obs.schema`) flags unclosed spans,
+  which is how "timer closed on every exit path" is enforced in CI.
+* ``event`` — a point record, optionally with a ``dur`` for atomic timed
+  work whose window is owned elsewhere (e.g. one SAT pair query timed by
+  its :class:`~repro.sweep.checker.PairChecker`).
+* ``counters`` — a dump of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Determinism contract
+--------------------
+
+Engine instrumentation only attaches *trajectory* attributes (phase, wave,
+class representative, pair, verdict, conflict count, cost) plus timing
+fields.  Timing fields follow a naming convention — ``t``, ``dur``, or a
+``*_s`` suffix — so :func:`deterministic_projection` can strip them; what
+remains must be bit-identical across runs and (on the pooled path) across
+worker counts.  The golden-trace suite pins this.
+
+Overhead
+--------
+
+Disabled tracing costs one attribute read per instrumentation site:
+engines hold :data:`NULL_TRACER` (``enabled`` is ``False``) and guard
+per-pair records with ``if tracer.enabled``.  Phase-level spans go through
+no-op methods.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, IO, Optional, Union
+
+from repro.obs.schema import TRACE_SCHEMA_VERSION
+
+#: Top-level keys holding non-deterministic wall-clock data.  Any key named
+#: here — or ending in ``_s`` — is stripped by the deterministic projection.
+VOLATILE_KEYS = frozenset({"t", "dur"})
+
+#: Record names excluded from the deterministic projection wholesale:
+#: pool lifecycle depends on the worker count and on chaos (respawns).
+VOLATILE_NAME_PREFIXES = ("pool.",)
+
+
+def _is_volatile_key(key: str) -> bool:
+    return key in VOLATILE_KEYS or key.endswith("_s")
+
+
+def _strip_volatile(value):
+    if isinstance(value, dict):
+        return {
+            k: _strip_volatile(v)
+            for k, v in value.items()
+            if not _is_volatile_key(k)
+        }
+    if isinstance(value, list):
+        return [_strip_volatile(v) for v in value]
+    return value
+
+
+def deterministic_projection(records) -> list[dict]:
+    """The schedule-invariant view of a trace.
+
+    Drops the header (it carries wall timestamps and invocation metadata),
+    every ``pool.*`` record (worker lifecycle is jobs-dependent), and all
+    timing fields at any nesting depth.  Two runs of the same seeded flow
+    must produce equal projections; the pooled SAT path must also be
+    invariant across worker counts (see ``tests/obs/test_golden_trace.py``).
+    """
+    projected = []
+    for record in records:
+        if record.get("type") == "header":
+            continue
+        name = record.get("name", "")
+        if isinstance(name, str) and name.startswith(VOLATILE_NAME_PREFIXES):
+            continue
+        projected.append(_strip_volatile(record))
+    return projected
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span_id")
+
+    def __init__(self, tracer: "Tracer", span_id: int):
+        self._tracer = tracer
+        self._span_id = span_id
+
+    @property
+    def span_id(self) -> int:
+        return self._span_id
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Close on every exit path — normal, error, interrupt — so the
+        # validator's unclosed-span check holds even for aborted flows.
+        self._tracer.end(self._span_id)
+
+
+class Tracer:
+    """Writes structured trace records to a JSONL sink.
+
+    Args:
+        sink: A file path (the tracer owns and closes the file), an open
+            text file (caller owns it), or a list (records are appended as
+            dicts — handy for tests and in-process analysis).
+        meta: Free-form invocation metadata stored in the header record
+            (command line, seed, jobs); excluded from the deterministic
+            projection, so jobs-dependent data belongs here.
+        clock: Monotonic clock used for ``t``/``dur`` fields.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[str, Path, IO[str], list],
+        meta: Optional[dict] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = 0
+        self._next_span = 0
+        #: span id -> (name, start time) for spans still open.
+        self._open: dict[int, tuple[str, float]] = {}
+        self._records: Optional[list] = None
+        self._file: Optional[IO[str]] = None
+        self._owns_file = False
+        if isinstance(sink, list):
+            self._records = sink
+        elif isinstance(sink, (str, Path)):
+            self._file = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+        self._emit(
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA_VERSION,
+                "created_at": time.time(),
+                "meta": dict(meta or {}),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _emit(self, record: dict) -> None:
+        record["i"] = self._seq
+        self._seq += 1
+        if self._records is not None:
+            self._records.append(record)
+        else:
+            self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **attrs) -> int:
+        """Open a span; returns its id for :meth:`end`."""
+        span_id = self._next_span
+        self._next_span += 1
+        t = self._now()
+        self._open[span_id] = (name, t)
+        record = {"type": "begin", "name": name, "id": span_id, "t": t}
+        record.update(attrs)
+        self._emit(record)
+        return span_id
+
+    def end(self, span_id: int, **attrs) -> None:
+        """Close a span; computes ``dur`` from the matching ``begin``."""
+        opened = self._open.pop(span_id, None)
+        t = self._now()
+        record = {
+            "type": "end",
+            "id": span_id,
+            "t": t,
+            "dur": max(0.0, t - opened[1]) if opened else 0.0,
+        }
+        if opened:
+            record["name"] = opened[0]
+        record.update(attrs)
+        self._emit(record)
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """``with tracer.span("phase", phase="sat"): ...`` — closes on any exit."""
+        return _SpanHandle(self, self.begin(name, **attrs))
+
+    def event(self, name: str, **attrs) -> None:
+        """A point record; pass ``dur=`` for externally-timed atomic work."""
+        record = {"type": "event", "name": name, "t": self._now()}
+        record.update(attrs)
+        self._emit(record)
+
+    def counters(self, values: dict) -> None:
+        """Dump a metrics-registry snapshot into the trace."""
+        self._emit({"type": "counters", "values": values})
+
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (should be 0 after a clean run)."""
+        return len(self._open)
+
+    def close(self) -> None:
+        """Flush and (when the tracer owns the file) close the sink."""
+        if self._file is not None:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTracer:
+    """No-op tracer: the default wired into every engine.
+
+    All methods are empty and ``enabled`` is ``False`` so hot loops can
+    skip attribute packing entirely; a shared singleton
+    (:data:`NULL_TRACER`) keeps the disabled path allocation-free.
+    """
+
+    enabled = False
+    open_spans = 0
+
+    def begin(self, name: str, **attrs) -> int:
+        return -1
+
+    def end(self, span_id: int, **attrs) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> "NullTracer":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def counters(self, values: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: Shared no-op tracer; engines default to this when no trace was requested.
+NULL_TRACER = NullTracer()

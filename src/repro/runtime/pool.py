@@ -48,6 +48,7 @@ from typing import Optional, Sequence
 
 from repro.errors import SweepError
 from repro.network.network import Network
+from repro.obs import NULL_TRACER
 from repro.runtime.budget import Budget
 from repro.sat.solver import SatResult
 from repro.simulation.patterns import InputVector
@@ -147,6 +148,7 @@ class CheckerPool:
         conflict_limit: Optional[int] = 20000,
         incremental: bool = True,
         chaos_kill_pair: Optional[tuple[int, int]] = None,
+        tracer=None,
     ):
         if jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {jobs}")
@@ -160,6 +162,10 @@ class CheckerPool:
         self._chaos_kill_pair = (
             None if chaos_kill_pair is None else tuple(chaos_kill_pair)
         )
+        # Parent-side only (never shipped to workers; a Tracer holds an
+        # open file).  ``pool.*`` records are jobs-dependent by nature and
+        # excluded from the deterministic trace projection.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -220,6 +226,8 @@ class CheckerPool:
         if self._closed:
             raise SweepError("pool is closed")
         count = len(pairs)
+        if self._tracer.enabled:
+            self._tracer.event("pool.dispatch", count=count)
         verdicts: list[Optional[PairVerdict]] = [None] * count
         position: dict[int, int] = {}
         owner: dict[int, int] = {}
@@ -287,6 +295,8 @@ class CheckerPool:
             if process.is_alive():
                 continue
             self.worker_failures += 1
+            if self._tracer.enabled:
+                self._tracer.event("pool.respawn", worker=index)
             self._spawn(index)
             fence_id = self._fence_seq
             self._fence_seq += 1

@@ -17,6 +17,7 @@ API boundary.
 
 from __future__ import annotations
 
+import time
 from enum import Enum
 from typing import Iterable, Optional, Sequence
 
@@ -83,6 +84,8 @@ class CdclSolver:
             "restarts": 0,
             "learnts_deleted": 0,
             "reductions": 0,
+            "solve_calls": 0,
+            "solve_seconds": 0.0,
         }
 
     # ------------------------------------------------------------------
@@ -361,6 +364,21 @@ class CdclSolver:
                 propagations, its conflict headroom tightens the conflict
                 limit, and consumed conflicts are charged back on return.
         """
+        start = time.perf_counter()
+        try:
+            return self._solve(assumptions, conflict_limit, budget)
+        finally:
+            # Closed on every exit path (UNKNOWN abort, interrupt) so the
+            # per-solve wall clock never leaks an open window.
+            self.stats["solve_calls"] += 1
+            self.stats["solve_seconds"] += time.perf_counter() - start
+
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        conflict_limit: Optional[int],
+        budget,
+    ) -> SatResult:
         if not self._ok:
             return SatResult.UNSAT
         # Deadline / conflict headroom gate the work below; the SAT-call cap

@@ -130,6 +130,8 @@ class CompiledSimulator:
         self._fn = (
             self._codegen() if len(order) <= CODEGEN_NODE_LIMIT else None
         )
+        #: Work counters for the metrics registry (published as ``sim.*``).
+        self.stats = {"batches": 0, "patterns": 0, "node_evals": 0}
 
     # ------------------------------------------------------------------
     # Introspection (benchmarks and tests)
@@ -214,6 +216,11 @@ class CompiledSimulator:
         """
         if width < 0:
             raise SimulationError("width must be >= 0")
+        self.stats["batches"] += 1
+        self.stats["patterns"] += width
+        self.stats["node_evals"] += len(self._tape) * max(
+            1, (width + 63) // 64
+        )
         mask = width_mask(width)
         try:
             pi_list = [pi_words[pi] for pi in self._pis]

@@ -66,6 +66,8 @@ class Simulator:
     def __init__(self, network: Network):
         self.network = network
         self._topo = network.topological_order()
+        #: Work counters for the metrics registry (published as ``sim.*``).
+        self.stats = {"batches": 0, "patterns": 0, "node_evals": 0}
 
     def run_words(
         self, pi_words: Mapping[int, int], width: int
@@ -76,6 +78,9 @@ class Simulator:
         """
         if width < 0:
             raise SimulationError("width must be >= 0")
+        self.stats["batches"] += 1
+        self.stats["patterns"] += width
+        self.stats["node_evals"] += len(self._topo) * max(1, (width + 63) // 64)
         mask = width_mask(width)
         values: dict[int, int] = {}
         for pi in self.network.pis:

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError
 from repro.network.network import Network
+from repro.obs import NULL_TRACER
 from repro.runtime.pool import CheckerPool
 from repro.sat.solver import SatResult
 from repro.simulation.patterns import InputVector, PatternBatch
@@ -109,12 +110,27 @@ def check_equivalence(
             sweep *and* the per-output fallback SAT calls.
     """
     config = config or SweepConfig()
+    tracer = config.tracer if config.tracer is not None else NULL_TRACER
+    with tracer.span("run", kind="cec"):
+        return _check_equivalence_traced(
+            network_a, network_b, generator_factory, config, tracer
+        )
+
+
+def _check_equivalence_traced(
+    network_a: Network,
+    network_b: Network,
+    generator_factory,
+    config: SweepConfig,
+    tracer,
+) -> CecResult:
     budget = config.budget
-    union, pairs = union_network(network_a, network_b)
-    generator: Optional[BaseVectorGenerator] = None
-    if generator_factory is not None:
-        generator = generator_factory(union, config.seed)
-    engine = SweepEngine(union, generator, config)
+    with tracer.span("phase", phase="cec.build"):
+        union, pairs = union_network(network_a, network_b)
+        generator: Optional[BaseVectorGenerator] = None
+        if generator_factory is not None:
+            generator = generator_factory(union, config.seed)
+        engine = SweepEngine(union, generator, config)
     sweep = engine.run()
 
     proven = {(a, b) for a, b, comp in sweep.equivalences if not comp}
@@ -174,64 +190,98 @@ def check_equivalence(
         return False
 
     pending: list[tuple[str, int, int]] = []
+    fallback_calls = 0
     try:
-        for name, node_a, node_b in pairs:
-            if resolve_from_sweep(name, node_a, node_b):
-                continue
-            if sweep.metrics.interrupted or (
-                budget is not None and budget.expired()
-            ):
-                result.outputs[name] = "unknown"
-                result.equivalent = False
-                continue
-            if config.jobs > 1:
-                # Defer to one concurrent batch of fallback miters; the
-                # verdicts merge below in PO order, so the counterexample
-                # (the first differing PO) is worker-count-invariant.
-                pending.append((name, node_a, node_b))
-                continue
-            outcome, vector = checker.check(node_a, node_b)
-            if outcome is SatResult.UNSAT:
-                result.outputs[name] = "equal"
-            elif outcome is SatResult.SAT:
-                result.outputs[name] = "different"
-                result.equivalent = False
-                if result.counterexample is None:
-                    result.counterexample = vector
-            else:
-                result.outputs[name] = "unknown"
-                result.equivalent = False
-        if pending:
-            fallback_start = time.perf_counter()
-            with CheckerPool(
-                union,
-                config.jobs,
-                shards=config.sat_shards,
-                conflict_limit=config.sat_conflict_limit,
-                incremental=config.incremental_sat,
-                chaos_kill_pair=config.chaos_kill_pair,
-            ) as pool:
-                verdicts = pool.check_pairs(
-                    [(a, b, False) for _, a, b in pending], budget=budget
+        with tracer.span("phase", phase="cec.resolve"):
+            for name, node_a, node_b in pairs:
+                if resolve_from_sweep(name, node_a, node_b):
+                    continue
+                if sweep.metrics.interrupted or (
+                    budget is not None and budget.expired()
+                ):
+                    result.outputs[name] = "unknown"
+                    result.equivalent = False
+                    continue
+                if config.jobs > 1:
+                    # Defer to one concurrent batch of fallback miters;
+                    # the verdicts merge below in PO order, so the
+                    # counterexample (the first differing PO) is
+                    # worker-count-invariant.
+                    pending.append((name, node_a, node_b))
+                    continue
+                # The checker clock owns the window; charge_attempt keeps
+                # ``sat_time == sum(sat_time_per_attempt)`` through the
+                # fallback path too (the sweep's own accounting
+                # invariant).
+                outcome, vector = engine._checked_attempt(
+                    checker, sweep.metrics, node_a, node_b, False, rung=0
                 )
-                sweep.metrics.worker_failures += pool.worker_failures
-            for (name, _, _), verdict in zip(pending, verdicts):
                 sweep.metrics.sat_calls += 1
-                sweep.metrics.worker_sat_time += verdict.sat_time
-                if budget is not None and not verdict.degraded:
-                    budget.charge_sat_call()
-                    budget.charge_conflicts(verdict.conflicts)
-                if verdict.outcome is SatResult.UNSAT:
+                fallback_calls += 1
+                if outcome is SatResult.UNSAT:
                     result.outputs[name] = "equal"
-                elif verdict.outcome is SatResult.SAT:
+                elif outcome is SatResult.SAT:
                     result.outputs[name] = "different"
                     result.equivalent = False
                     if result.counterexample is None:
-                        result.counterexample = verdict.vector
+                        result.counterexample = vector
                 else:
                     result.outputs[name] = "unknown"
                     result.equivalent = False
-            sweep.metrics.sat_time += time.perf_counter() - fallback_start
+        if pending:
+            # One coordinator wall window for the whole fallback batch
+            # (``sat_phase_time``); each verdict's worker-clock seconds are
+            # charged exactly once via ``charge_attempt`` — never both, so
+            # the old double count (wall window + per-attempt seconds) is
+            # structurally impossible.
+            fallback_start = time.perf_counter()
+            with tracer.span("phase", phase="cec.sat"):
+                with CheckerPool(
+                    union,
+                    config.jobs,
+                    shards=config.sat_shards,
+                    conflict_limit=config.sat_conflict_limit,
+                    incremental=config.incremental_sat,
+                    chaos_kill_pair=config.chaos_kill_pair,
+                    tracer=tracer,
+                ) as pool:
+                    verdicts = pool.check_pairs(
+                        [(a, b, False) for _, a, b in pending], budget=budget
+                    )
+                    sweep.metrics.worker_failures += pool.worker_failures
+                for (name, node_a, node_b), verdict in zip(pending, verdicts):
+                    engine._merge_verdict_time(sweep.metrics, verdict, rung=0)
+                    sweep.metrics.sat_calls += 1
+                    fallback_calls += 1
+                    if budget is not None and not verdict.degraded:
+                        budget.charge_sat_call()
+                        budget.charge_conflicts(verdict.conflicts)
+                    if tracer.enabled:
+                        tracer.event(
+                            "sat.call",
+                            rep=node_a,
+                            member=node_b,
+                            complement=False,
+                            verdict=verdict.outcome.value,
+                            conflicts=verdict.conflicts,
+                            rung=0,
+                            po=name,
+                            degraded=verdict.degraded,
+                            dur=verdict.sat_time,
+                        )
+                    if verdict.outcome is SatResult.UNSAT:
+                        result.outputs[name] = "equal"
+                    elif verdict.outcome is SatResult.SAT:
+                        result.outputs[name] = "different"
+                        result.equivalent = False
+                        if result.counterexample is None:
+                            result.counterexample = verdict.vector
+                    else:
+                        result.outputs[name] = "unknown"
+                        result.equivalent = False
+                sweep.metrics.sat_phase_time += (
+                    time.perf_counter() - fallback_start
+                )
     except KeyboardInterrupt:
         sweep.metrics.interrupted = True
         for name, _, _ in pairs:
@@ -240,8 +290,26 @@ def check_equivalence(
                 result.equivalent = False
 
     if checker is not None:
-        sweep.metrics.sat_calls += checker.stats.calls
-        sweep.metrics.sat_time += checker.stats.sat_time
+        # calls/sat_time were charged per attempt above (one timer owner);
+        # only the retry counter and solver stats are folded in here.
         sweep.metrics.solver_retries += checker.stats.retries
+        engine.registry.inc_many("sat.solver", checker.solver_stats)
     result.conclusive = "unknown" not in result.outputs.values()
+    engine.registry.inc_many(
+        "cec",
+        {
+            "fallback_calls": fallback_calls,
+            "outputs_equal": sum(
+                1 for s in result.outputs.values() if s == "equal"
+            ),
+            "outputs_different": sum(
+                1 for s in result.outputs.values() if s == "different"
+            ),
+            "outputs_unknown": sum(
+                1 for s in result.outputs.values() if s == "unknown"
+            ),
+        },
+    )
+    if tracer.enabled:
+        tracer.counters(engine.registry.as_dict())
     return result

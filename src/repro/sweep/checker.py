@@ -68,10 +68,21 @@ class PairChecker:
         self.max_retries = max_retries
         self._solver_factory = solver_factory or CdclSolver
         self.stats = CheckerStats()
+        #: Solver counters accumulated across fresh-mode queries (the
+        #: per-query solvers are otherwise discarded with their stats).
+        self._fresh_stats: dict = {}
         if incremental:
             self._solver = self._solver_factory()
             self._encoder = TseitinEncoder(network)
             self._clauses_loaded = 0
+
+    @property
+    def solver_stats(self) -> dict:
+        """Counters of the underlying CDCL solver(s) (decisions, conflicts,
+        propagations, restarts, solve seconds, ...) for registry export."""
+        if self.incremental:
+            return dict(getattr(self._solver, "stats", {}) or {})
+        return dict(self._fresh_stats)
 
     # ------------------------------------------------------------------
     def check(
@@ -99,24 +110,29 @@ class PairChecker:
             else conflict_limit
         )
         start = time.perf_counter()
-        if self.budget is not None and self.budget.expired():
-            result: SatResult = SatResult.UNKNOWN
-            vector: Optional[InputVector] = None
-        else:
-            if self.budget is not None:
-                self.budget.charge_sat_call()
-            result, vector = self._check_with_retries(
-                node_a, node_b, complement, limit
-            )
-        self.stats.calls += 1
-        self.stats.sat_time += time.perf_counter() - start
-        if result is SatResult.UNSAT:
-            self.stats.proven += 1
-        elif result is SatResult.SAT:
-            self.stats.disproven += 1
-        else:
-            self.stats.unknown += 1
-        return result, vector
+        result: SatResult = SatResult.UNKNOWN
+        vector: Optional[InputVector] = None
+        try:
+            if self.budget is None or not self.budget.expired():
+                if self.budget is not None:
+                    self.budget.charge_sat_call()
+                result, vector = self._check_with_retries(
+                    node_a, node_b, complement, limit
+                )
+            return result, vector
+        finally:
+            # The stats window closes on *every* exit path — deadline,
+            # KeyboardInterrupt mid-solve, worker teardown — so this clock
+            # (the single owner of SAT seconds) never leaks an open window;
+            # an aborted query is recorded as an UNKNOWN call.
+            self.stats.calls += 1
+            self.stats.sat_time += time.perf_counter() - start
+            if result is SatResult.UNSAT:
+                self.stats.proven += 1
+            elif result is SatResult.SAT:
+                self.stats.disproven += 1
+            else:
+                self.stats.unknown += 1
 
     def _check_with_retries(
         self, node_a: int, node_b: int, complement: bool, limit: Optional[int]
@@ -156,6 +172,9 @@ class PairChecker:
         solver.add_cnf(cnf)
         result = solver.solve(conflict_limit=limit, budget=self.budget)
         self.stats.conflicts += solver.stats.get("conflicts", 0)
+        for key, value in solver.stats.items():
+            if isinstance(value, (int, float)):
+                self._fresh_stats[key] = self._fresh_stats.get(key, 0) + value
         if result is SatResult.SAT:
             return result, encoder.model_to_vector(solver.model())
         return result, None

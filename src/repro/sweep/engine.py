@@ -26,6 +26,7 @@ from typing import Callable, Optional
 from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError, TransientSimulationError
 from repro.network.network import Network
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.runtime.budget import Budget
 from repro.runtime.pool import DEFAULT_SHARDS, CheckerPool
 from repro.sat.solver import SatResult
@@ -116,6 +117,13 @@ class SweepConfig:
     #: exact ``(rep, member)`` pair hard-kills itself mid-query; chaos
     #: tests use it to prove the pair degrades to UNKNOWN.
     chaos_kill_pair: Optional[tuple[int, int]] = None
+    #: Structured trace sink (:class:`repro.obs.Tracer`); ``None`` wires the
+    #: shared no-op tracer, whose cost is one attribute read per site.
+    tracer: Optional[object] = None
+    #: Metrics registry the run records into (:class:`repro.obs.MetricsRegistry`);
+    #: ``None`` gives the engine a private one (reachable as
+    #: ``engine.registry``).  Pass a shared registry to aggregate runs.
+    registry: Optional[MetricsRegistry] = None
 
 
 @dataclass(slots=True)
@@ -132,8 +140,15 @@ class SweepMetrics:
     vectors_simulated: int = 0
     #: SAT queries issued in the SAT phase.
     sat_calls: int = 0
-    #: Wall-clock seconds inside the SAT phase.
+    #: Checker-owned SAT seconds: the sum of every pair query's measured
+    #: window (worker-local clocks on the pooled path).  One timer owns
+    #: each window, so ``sat_time == sum(sat_time_per_attempt)`` always —
+    #: the phase *wall-clock* (which also covers resimulation and merge
+    #: bookkeeping) is :attr:`sat_phase_time`.
     sat_time: float = 0.0
+    #: Coordinator wall-clock seconds of the SAT phase window.  On the
+    #: pooled path workers overlap, so ``sat_time`` can exceed this.
+    sat_phase_time: float = 0.0
     #: Pairs proven equivalent (UNSAT).
     proven: int = 0
     #: Pairs disproven with a counterexample (SAT).
@@ -158,11 +173,28 @@ class SweepMetrics:
     solver_retries: int = 0
     #: Dispatch waves of the parallel SAT phase (0 on the serial path).
     waves: int = 0
-    #: Summed solver seconds inside pool workers (can exceed ``sat_time``,
-    #: the phase wall-clock, when workers overlap).
+    #: Summed solver seconds inside pool workers.  Every pooled window is
+    #: charged to exactly one owner, so on a fully-pooled run this equals
+    #: ``sat_time``; it exceeds :attr:`sat_phase_time` when workers overlap.
     worker_sat_time: float = 0.0
     #: Pool worker deaths absorbed by respawn + UNKNOWN degradation.
     worker_failures: int = 0
+    #: Pairs whose answer was lost (worker death / deadline) and degraded
+    #: to UNKNOWN rather than fabricated.
+    degraded_pairs: int = 0
+
+    def charge_attempt(self, rung: int, seconds: float) -> None:
+        """Charge one measured SAT window to its escalation rung.
+
+        The single entry point for SAT seconds: it feeds both
+        :attr:`sat_time` and :attr:`sat_time_per_attempt`, which is what
+        keeps ``sat_time == sum(sat_time_per_attempt)`` an invariant on
+        every path (serial, pooled, CEC fallback, escalation, interrupt).
+        """
+        while len(self.sat_time_per_attempt) <= rung:
+            self.sat_time_per_attempt.append(0.0)
+        self.sat_time_per_attempt[rung] += seconds
+        self.sat_time += seconds
 
     @property
     def final_cost(self) -> int:
@@ -224,6 +256,14 @@ class SweepEngine:
             CompiledSimulator(network) if self._compiled else Simulator(network)
         )
         self.observer = observer
+        self.tracer = (
+            self.config.tracer if self.config.tracer is not None else NULL_TRACER
+        )
+        self.registry = (
+            self.config.registry
+            if self.config.registry is not None
+            else MetricsRegistry()
+        )
         self._rng = random.Random(self.config.seed)
         #: Counterexamples awaiting resimulation: (total, partial, rep, member).
         self._pending_cex: list[
@@ -270,52 +310,72 @@ class SweepEngine:
             match_complements=config.match_complements,
         )
         budget = config.budget
+        tracer = self.tracer
         start = time.perf_counter()
-        try:
-            for round_index in range(max(1, config.random_rounds)):
-                batch = PatternBatch(
-                    self.network.pis, random.Random(self._rng.random())
-                )
-                batch.add_random(config.random_width)
-                values = self._sim_batch(self.simulator, batch, metrics)
-                if values is not None:
-                    classes.refine(values, batch.width)
-                    metrics.vectors_simulated += batch.width
-                cost = classes.cost()
-                metrics.cost_history.append(cost)
-                self._notify("random", round_index, cost)
-        except KeyboardInterrupt:
-            metrics.interrupted = True
+        with tracer.span("phase", phase="random"):
+            try:
+                for round_index in range(max(1, config.random_rounds)):
+                    batch = PatternBatch(
+                        self.network.pis, random.Random(self._rng.random())
+                    )
+                    batch.add_random(config.random_width)
+                    values = self._sim_batch(self.simulator, batch, metrics)
+                    if values is not None:
+                        classes.refine(values, batch.width)
+                        metrics.vectors_simulated += batch.width
+                    cost = classes.cost()
+                    metrics.cost_history.append(cost)
+                    self._notify("random", round_index, cost)
+                    if tracer.enabled:
+                        tracer.event(
+                            "refine",
+                            phase="random",
+                            step=round_index,
+                            cost=cost,
+                            width=batch.width,
+                        )
+            except KeyboardInterrupt:
+                metrics.interrupted = True
         metrics.sim_time += time.perf_counter() - start
 
         if self.generator is None or metrics.interrupted:
             return classes, metrics
 
-        try:
-            for iteration in range(config.iterations):
-                if budget is not None and budget.expired():
-                    metrics.deadline_expired = True
-                    break
-                iter_start = time.perf_counter()
-                vectors = self.generator.generate(classes.splittable())
-                if vectors:
-                    batch = PatternBatch(
-                        self.network.pis, random.Random(self._rng.random())
-                    )
-                    for vector in vectors:
-                        batch.add_vector(vector)
-                    values = self._sim_batch(self.simulator, batch, metrics)
-                    if values is not None:
-                        classes.refine(values, batch.width)
-                        metrics.vectors_simulated += batch.width
-                elapsed = time.perf_counter() - iter_start
-                metrics.iteration_times.append(elapsed)
-                metrics.sim_time += elapsed
-                cost = classes.cost()
-                metrics.cost_history.append(cost)
-                self._notify("guided", iteration, cost)
-        except KeyboardInterrupt:
-            metrics.interrupted = True
+        with tracer.span("phase", phase="guided"):
+            try:
+                for iteration in range(config.iterations):
+                    if budget is not None and budget.expired():
+                        metrics.deadline_expired = True
+                        break
+                    iter_start = time.perf_counter()
+                    vectors = self.generator.generate(classes.splittable())
+                    if vectors:
+                        batch = PatternBatch(
+                            self.network.pis, random.Random(self._rng.random())
+                        )
+                        for vector in vectors:
+                            batch.add_vector(vector)
+                        values = self._sim_batch(self.simulator, batch, metrics)
+                        if values is not None:
+                            classes.refine(values, batch.width)
+                            metrics.vectors_simulated += batch.width
+                    elapsed = time.perf_counter() - iter_start
+                    metrics.iteration_times.append(elapsed)
+                    metrics.sim_time += elapsed
+                    cost = classes.cost()
+                    metrics.cost_history.append(cost)
+                    self._notify("guided", iteration, cost)
+                    if tracer.enabled:
+                        tracer.event(
+                            "refine",
+                            phase="guided",
+                            step=iteration,
+                            cost=cost,
+                            width=len(vectors),
+                            dur=elapsed,
+                        )
+            except KeyboardInterrupt:
+                metrics.interrupted = True
         return classes, metrics
 
     # ------------------------------------------------------------------
@@ -333,6 +393,7 @@ class SweepEngine:
         """
         config = self.config
         budget = config.budget
+        tracer = self.tracer
         result = SweepResult(classes=classes, metrics=metrics)
         if metrics.interrupted:
             return result
@@ -355,73 +416,131 @@ class SweepEngine:
         self._resim_targets = classes.num_members
         compiled = self._compiled
         start = time.perf_counter()
-        try:
-            while True:
-                if budget is not None and budget.expired():
-                    metrics.deadline_expired = True
-                    break
-                if compiled:
-                    # Flush before the classes are consulted so deferral can
-                    # never change which class (or pair) is attacked next.
-                    self._flush_cex(classes, metrics)
-                    cls = classes.best_splittable()
-                    if cls is None:
+        with tracer.span("phase", phase="sat"):
+            try:
+                while True:
+                    if budget is not None and budget.expired():
+                        metrics.deadline_expired = True
                         break
-                else:
-                    pending = classes.splittable()
-                    if not pending:
-                        break
-                    cls = pending[0]
-                # Representative: the shallowest member (cheapest miter cones).
-                rep = min(cls, key=lambda uid: (self.network.level(uid), uid))
-                others = [uid for uid in cls if uid != rep]
-                member = others[0]
-                complemented = classes.phase(rep) != classes.phase(member)
-                outcome, vector = checker.check(rep, member, complemented)
-                metrics.sat_calls += 1
-                self._notify("sat", metrics.sat_calls, classes.cost())
-                if outcome is SatResult.UNSAT:
-                    metrics.proven += 1
-                    result.equivalences.append((rep, member, complemented))
-                    classes.remove_member(member)
-                elif outcome is SatResult.SAT:
-                    metrics.disproven += 1
-                    if config.resimulate_cex and vector is not None:
-                        if compiled:
-                            self.queue_counterexample(vector, rep, member)
-                            if len(self._pending_cex) >= config.cex_batch_width:
-                                self._flush_cex(classes, metrics)
-                        else:
-                            self._resimulate(classes, vector, metrics)
-                            if classes.same_class(rep, member):
-                                # The counterexample must separate the pair;
-                                # if phases / free PIs conspired against the
-                                # split, force it.
-                                classes.isolate(member)
-                    elif classes.same_class(rep, member):
+                    if compiled:
+                        # Flush before the classes are consulted so deferral
+                        # can never change which class (or pair) is attacked
+                        # next.
+                        self._flush_cex(classes, metrics)
+                        cls = classes.best_splittable()
+                        if cls is None:
+                            break
+                    else:
+                        pending = classes.splittable()
+                        if not pending:
+                            break
+                        cls = pending[0]
+                    # Representative: shallowest member (cheapest miter cones).
+                    rep = min(
+                        cls, key=lambda uid: (self.network.level(uid), uid)
+                    )
+                    others = [uid for uid in cls if uid != rep]
+                    member = others[0]
+                    complemented = classes.phase(rep) != classes.phase(member)
+                    outcome, vector = self._checked_attempt(
+                        checker, metrics, rep, member, complemented, rung=0
+                    )
+                    metrics.sat_calls += 1
+                    self._notify("sat", metrics.sat_calls, classes.cost())
+                    if outcome is SatResult.UNSAT:
+                        metrics.proven += 1
+                        result.equivalences.append((rep, member, complemented))
+                        classes.remove_member(member)
+                    elif outcome is SatResult.SAT:
+                        metrics.disproven += 1
+                        if config.resimulate_cex and vector is not None:
+                            if compiled:
+                                self.queue_counterexample(vector, rep, member)
+                                if (
+                                    len(self._pending_cex)
+                                    >= config.cex_batch_width
+                                ):
+                                    self._flush_cex(classes, metrics)
+                            else:
+                                self._resimulate(classes, vector, metrics)
+                                if classes.same_class(rep, member):
+                                    # The counterexample must separate the
+                                    # pair; if phases / free PIs conspired
+                                    # against the split, force it.
+                                    classes.isolate(member)
+                        elif classes.same_class(rep, member):
+                            classes.isolate(member)
+                    else:
+                        metrics.unknown += 1
                         classes.isolate(member)
-                else:
-                    metrics.unknown += 1
-                    classes.isolate(member)
-                    if ladder_on:
-                        escalation_queue.append((rep, member, complemented, 1))
-        except KeyboardInterrupt:
-            metrics.interrupted = True
-        try:
-            self._flush_cex(classes, metrics)
-        except KeyboardInterrupt:
-            # Even the flush was interrupted: drop the pending vectors (they
-            # only refine classes further — never required for soundness).
-            metrics.interrupted = True
-            self._pending_cex.clear()
-        self._charge_attempt_time(metrics, 0, checker.stats.sat_time)
-        if escalation_queue and not metrics.interrupted:
-            self._run_escalations(
-                escalation_queue, classes, metrics, result, checker
-            )
-        metrics.solver_retries += checker.stats.retries
-        metrics.sat_time += time.perf_counter() - start
+                        if ladder_on:
+                            escalation_queue.append(
+                                (rep, member, complemented, 1)
+                            )
+            except KeyboardInterrupt:
+                metrics.interrupted = True
+            try:
+                self._flush_cex(classes, metrics)
+            except KeyboardInterrupt:
+                # Even the flush was interrupted: drop the pending vectors
+                # (they only refine classes further — never required for
+                # soundness).
+                metrics.interrupted = True
+                self._pending_cex.clear()
+            if escalation_queue and not metrics.interrupted:
+                self._run_escalations(
+                    escalation_queue, classes, metrics, result, checker
+                )
+            metrics.solver_retries += checker.stats.retries
+            metrics.sat_phase_time += time.perf_counter() - start
+        self.registry.inc_many("sat.solver", checker.solver_stats)
         return result
+
+    def _checked_attempt(
+        self,
+        checker: PairChecker,
+        metrics: SweepMetrics,
+        rep: int,
+        member: int,
+        complemented: bool,
+        rung: int,
+        conflict_limit=None,
+    ):
+        """One serial pair query with its window charged on every exit path.
+
+        The checker's clock is the single owner of the attempt window; this
+        wrapper charges the delta to ``metrics`` (and the trace) even when
+        the query is aborted by an interrupt mid-solve, so
+        ``sat_time == sum(sat_time_per_attempt)`` survives early exits.
+        """
+        time_before = checker.stats.sat_time
+        conflicts_before = checker.stats.conflicts
+        outcome = SatResult.UNKNOWN
+        vector = None
+        try:
+            if conflict_limit is None:
+                outcome, vector = checker.check(rep, member, complemented)
+            else:
+                outcome, vector = checker.check(
+                    rep, member, complemented, conflict_limit=conflict_limit
+                )
+            return outcome, vector
+        finally:
+            attempt_s = checker.stats.sat_time - time_before
+            metrics.charge_attempt(rung, attempt_s)
+            conflicts = checker.stats.conflicts - conflicts_before
+            self.registry.observe("sat.conflicts_per_call", conflicts)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "sat.call",
+                    rep=rep,
+                    member=member,
+                    complement=complemented,
+                    verdict=outcome.value,
+                    conflicts=conflicts,
+                    rung=rung,
+                    dur=attempt_s,
+                )
 
     # ------------------------------------------------------------------
     # Parallel SAT phase (jobs > 1)
@@ -478,6 +597,7 @@ class SweepEngine:
         """
         config = self.config
         budget = config.budget
+        tracer = self.tracer
         ladder_on = (
             config.max_escalations > 0 and config.sat_conflict_limit is not None
         )
@@ -485,76 +605,124 @@ class SweepEngine:
         self._pending_cex.clear()
         self._resim_sim = self.simulator
         self._resim_targets = classes.num_members
-        base_worker_time = 0.0
         start = time.perf_counter()
-        pool = CheckerPool(
-            self.network,
-            config.jobs,
-            shards=config.sat_shards,
-            conflict_limit=config.sat_conflict_limit,
-            incremental=config.incremental_sat,
-            chaos_kill_pair=config.chaos_kill_pair,
-        )
-        try:
-            wave_index = 0
-            while True:
-                if budget is not None and budget.expired():
-                    metrics.deadline_expired = True
-                    break
+        with tracer.span("phase", phase="sat"):
+            # Spawning the workers is part of the SAT phase's wall cost, so
+            # it happens inside both the span and the phase-time window.
+            pool = CheckerPool(
+                self.network,
+                config.jobs,
+                shards=config.sat_shards,
+                conflict_limit=config.sat_conflict_limit,
+                incremental=config.incremental_sat,
+                chaos_kill_pair=config.chaos_kill_pair,
+                tracer=tracer,
+            )
+            try:
+                wave_index = 0
+                while True:
+                    if budget is not None and budget.expired():
+                        metrics.deadline_expired = True
+                        break
+                    self._flush_cex(classes, metrics)
+                    wave = self._build_wave(classes, wave_index)
+                    if not wave:
+                        break
+                    this_wave = wave_index
+                    wave_index += 1
+                    metrics.waves += 1
+                    self.registry.observe("sweep.wave_size", len(wave))
+                    with tracer.span("wave", wave=this_wave, size=len(wave)):
+                        verdicts = pool.check_pairs(wave, budget=budget)
+                        for (rep, member, complemented), verdict in zip(
+                            wave, verdicts
+                        ):
+                            self._merge_verdict_time(
+                                metrics, verdict, rung=0
+                            )
+                            metrics.sat_calls += 1
+                            if budget is not None and not verdict.degraded:
+                                budget.charge_sat_call()
+                                budget.charge_conflicts(verdict.conflicts)
+                            self._notify(
+                                "sat", metrics.sat_calls, classes.cost()
+                            )
+                            if tracer.enabled:
+                                tracer.event(
+                                    "sat.call",
+                                    rep=rep,
+                                    member=member,
+                                    complement=complemented,
+                                    verdict=verdict.outcome.value,
+                                    conflicts=verdict.conflicts,
+                                    rung=0,
+                                    wave=this_wave,
+                                    degraded=verdict.degraded,
+                                    dur=verdict.sat_time,
+                                )
+                            if verdict.outcome is SatResult.UNSAT:
+                                metrics.proven += 1
+                                result.equivalences.append(
+                                    (rep, member, complemented)
+                                )
+                                classes.remove_member(member)
+                            elif verdict.outcome is SatResult.SAT:
+                                metrics.disproven += 1
+                                if (
+                                    config.resimulate_cex
+                                    and verdict.vector is not None
+                                ):
+                                    self.queue_counterexample(
+                                        verdict.vector, rep, member
+                                    )
+                                    if (
+                                        len(self._pending_cex)
+                                        >= config.cex_batch_width
+                                    ):
+                                        self._flush_cex(classes, metrics)
+                                elif classes.same_class(rep, member):
+                                    classes.isolate(member)
+                            else:
+                                metrics.unknown += 1
+                                classes.isolate(member)
+                                if ladder_on:
+                                    escalation_queue.append(
+                                        (rep, member, complemented, 1)
+                                    )
+            except KeyboardInterrupt:
+                metrics.interrupted = True
+            try:
                 self._flush_cex(classes, metrics)
-                wave = self._build_wave(classes, wave_index)
-                if not wave:
-                    break
-                wave_index += 1
-                metrics.waves += 1
-                verdicts = pool.check_pairs(wave, budget=budget)
-                for (rep, member, complemented), verdict in zip(wave, verdicts):
-                    base_worker_time += verdict.sat_time
-                    metrics.sat_calls += 1
-                    if budget is not None and not verdict.degraded:
-                        budget.charge_sat_call()
-                        budget.charge_conflicts(verdict.conflicts)
-                    self._notify("sat", metrics.sat_calls, classes.cost())
-                    if verdict.outcome is SatResult.UNSAT:
-                        metrics.proven += 1
-                        result.equivalences.append((rep, member, complemented))
-                        classes.remove_member(member)
-                    elif verdict.outcome is SatResult.SAT:
-                        metrics.disproven += 1
-                        if config.resimulate_cex and verdict.vector is not None:
-                            self.queue_counterexample(
-                                verdict.vector, rep, member
-                            )
-                            if len(self._pending_cex) >= config.cex_batch_width:
-                                self._flush_cex(classes, metrics)
-                        elif classes.same_class(rep, member):
-                            classes.isolate(member)
-                    else:
-                        metrics.unknown += 1
-                        classes.isolate(member)
-                        if ladder_on:
-                            escalation_queue.append(
-                                (rep, member, complemented, 1)
-                            )
-        except KeyboardInterrupt:
-            metrics.interrupted = True
-        try:
-            self._flush_cex(classes, metrics)
-        except KeyboardInterrupt:
-            metrics.interrupted = True
-            self._pending_cex.clear()
-        self._charge_attempt_time(metrics, 0, base_worker_time)
-        metrics.worker_sat_time += base_worker_time
-        try:
-            if escalation_queue and not metrics.interrupted:
-                self._run_escalations_parallel(
-                    escalation_queue, classes, metrics, result, pool
-                )
-        finally:
-            metrics.worker_failures += pool.worker_failures
-            pool.close()
-        metrics.sat_time += time.perf_counter() - start
+            except KeyboardInterrupt:
+                metrics.interrupted = True
+                self._pending_cex.clear()
+            try:
+                if escalation_queue and not metrics.interrupted:
+                    self._run_escalations_parallel(
+                        escalation_queue, classes, metrics, result, pool
+                    )
+            finally:
+                metrics.worker_failures += pool.worker_failures
+                pool.close()
+            metrics.sat_phase_time += time.perf_counter() - start
         return result
+
+    def _merge_verdict_time(
+        self, metrics: SweepMetrics, verdict, rung: int
+    ) -> None:
+        """Fold one pooled verdict's accounting in (dispatch order).
+
+        The worker-local clock is the single owner of the query window:
+        its seconds land in ``sat_time``/``sat_time_per_attempt`` *and*
+        ``worker_sat_time`` (the two stay equal on fully-pooled runs) —
+        never in the coordinator's wall window, which is
+        ``sat_phase_time``.
+        """
+        metrics.charge_attempt(rung, verdict.sat_time)
+        metrics.worker_sat_time += verdict.sat_time
+        if verdict.degraded:
+            metrics.degraded_pairs += 1
+        self.registry.observe("sat.conflicts_per_call", verdict.conflicts)
 
     def _run_escalations_parallel(
         self,
@@ -592,14 +760,25 @@ class SweepEngine:
                 for (rep, member, complemented, rung), verdict in zip(
                     wave, verdicts
                 ):
-                    self._charge_attempt_time(metrics, rung, verdict.sat_time)
-                    metrics.worker_sat_time += verdict.sat_time
+                    self._merge_verdict_time(metrics, verdict, rung=rung)
                     metrics.sat_calls += 1
                     metrics.escalations += 1
                     if budget is not None and not verdict.degraded:
                         budget.charge_sat_call()
                         budget.charge_conflicts(verdict.conflicts)
                     self._notify("escalate", metrics.sat_calls, classes.cost())
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "sat.call",
+                            rep=rep,
+                            member=member,
+                            complement=complemented,
+                            verdict=verdict.outcome.value,
+                            conflicts=verdict.conflicts,
+                            rung=rung,
+                            degraded=verdict.degraded,
+                            dur=verdict.sat_time,
+                        )
                     if verdict.outcome is SatResult.UNSAT:
                         metrics.unknown -= 1
                         metrics.proven += 1
@@ -623,14 +802,6 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # UNKNOWN escalation ladder
     # ------------------------------------------------------------------
-    @staticmethod
-    def _charge_attempt_time(
-        metrics: SweepMetrics, rung: int, seconds: float
-    ) -> None:
-        while len(metrics.sat_time_per_attempt) <= rung:
-            metrics.sat_time_per_attempt.append(0.0)
-        metrics.sat_time_per_attempt[rung] += seconds
-
     def _run_escalations(
         self,
         queue: list[tuple[int, int, bool, int]],
@@ -657,12 +828,14 @@ class SweepEngine:
                     break
                 rep, member, complemented, rung = queue.pop(0)
                 limit = base_limit * (config.escalation_factor ** rung)
-                before = checker.stats.sat_time
-                outcome, vector = checker.check(
-                    rep, member, complemented, conflict_limit=limit
-                )
-                self._charge_attempt_time(
-                    metrics, rung, checker.stats.sat_time - before
+                outcome, vector = self._checked_attempt(
+                    checker,
+                    metrics,
+                    rep,
+                    member,
+                    complemented,
+                    rung=rung,
+                    conflict_limit=limit,
                 )
                 metrics.sat_calls += 1
                 metrics.escalations += 1
@@ -714,35 +887,53 @@ class SweepEngine:
     def _flush_cex(
         self, classes: EquivalenceClasses, metrics: SweepMetrics
     ) -> None:
-        """Resimulate all pending counterexamples in one batch."""
+        """Resimulate all pending counterexamples in one batch.
+
+        Resimulation is *simulation* work triggered from the SAT phase: its
+        window is charged to ``metrics.sim_time`` (never ``sat_time``, whose
+        sole owner is the checker clock), even when the flush is interrupted
+        mid-batch.
+        """
         if not self._pending_cex:
             return
         pending = self._pending_cex
         self._pending_cex = []
-        batch = PatternBatch(self.network.pis)
-        for total, _, _, _ in pending:
-            batch.add_vector(total)
-        values = self._sim_batch(self._resim_simulator(classes), batch, metrics)
-        if values is not None:
-            classes.refine(values, batch.width)
-            metrics.vectors_simulated += batch.width
-        # Even when the batch was dropped, the forced isolations below keep
-        # every disproven pair separated — refinement is only an accelerant.
-        for _, partial, rep, member in pending:
-            # Counterexamples make good seeds for neighbourhood generators
-            # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
-            if self.generator is not None and hasattr(
-                self.generator, "set_seed_vector"
-            ):
-                self.generator.set_seed_vector(partial)
-            if (
-                rep is not None
-                and member is not None
-                and classes.tracked(rep)
-                and classes.tracked(member)
-                and classes.same_class(rep, member)
-            ):
-                classes.isolate(member)
+        start = time.perf_counter()
+        try:
+            batch = PatternBatch(self.network.pis)
+            for total, _, _, _ in pending:
+                batch.add_vector(total)
+            values = self._sim_batch(
+                self._resim_simulator(classes), batch, metrics
+            )
+            if values is not None:
+                classes.refine(values, batch.width)
+                metrics.vectors_simulated += batch.width
+            # Even when the batch was dropped, the forced isolations below
+            # keep every disproven pair separated — refinement is only an
+            # accelerant.
+            for _, partial, rep, member in pending:
+                # Counterexamples make good seeds for neighbourhood
+                # generators (Mishchenko et al.'s 1-distance vectors, §2.3).
+                if self.generator is not None and hasattr(
+                    self.generator, "set_seed_vector"
+                ):
+                    self.generator.set_seed_vector(partial)
+                if (
+                    rep is not None
+                    and member is not None
+                    and classes.tracked(rep)
+                    and classes.tracked(member)
+                    and classes.same_class(rep, member)
+                ):
+                    classes.isolate(member)
+        finally:
+            flush_s = time.perf_counter() - start
+            metrics.sim_time += flush_s
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "resim.flush", count=len(pending), dur=flush_s
+                )
 
     def _resim_simulator(self, classes: EquivalenceClasses):
         """The simulator used for counterexample resimulation.
@@ -766,23 +957,90 @@ class SweepEngine:
         vector: InputVector,
         metrics: SweepMetrics,
     ) -> None:
-        """Reference-mode resimulation: one full-network pass per cex."""
-        batch = PatternBatch(self.network.pis, random.Random(self._rng.random()))
-        batch.add_vector(vector)
-        values = self._sim_batch(self.simulator, batch, metrics)
-        if values is None:
-            return
-        classes.refine(values, batch.width)
-        metrics.vectors_simulated += batch.width
-        # Counterexamples make good seeds for neighbourhood generators
-        # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
-        if self.generator is not None and hasattr(
-            self.generator, "set_seed_vector"
-        ):
-            self.generator.set_seed_vector(vector)
+        """Reference-mode resimulation: one full-network pass per cex.
+
+        Charged to ``sim_time`` like the batched flush (one timer owner per
+        window; the SAT clock never covers resimulation).
+        """
+        start = time.perf_counter()
+        try:
+            batch = PatternBatch(
+                self.network.pis, random.Random(self._rng.random())
+            )
+            batch.add_vector(vector)
+            values = self._sim_batch(self.simulator, batch, metrics)
+            if values is None:
+                return
+            classes.refine(values, batch.width)
+            metrics.vectors_simulated += batch.width
+            # Counterexamples make good seeds for neighbourhood generators
+            # (Mishchenko et al.'s 1-distance vectors, paper §2.3).
+            if self.generator is not None and hasattr(
+                self.generator, "set_seed_vector"
+            ):
+                self.generator.set_seed_vector(vector)
+        finally:
+            flush_s = time.perf_counter() - start
+            metrics.sim_time += flush_s
+            if self.tracer.enabled:
+                self.tracer.event("resim.flush", count=1, dur=flush_s)
 
     # ------------------------------------------------------------------
+    def publish_metrics(self, metrics: SweepMetrics) -> None:
+        """Fold run metrics and per-component stats into the registry.
+
+        Component stats dicts (implication/decision engines, simulators)
+        are published under stable prefixes; float-valued entries become
+        timers, integer entries counters (see
+        :meth:`repro.obs.MetricsRegistry.inc_many`).
+        """
+        registry = self.registry
+        registry.inc_many(
+            "sweep",
+            {
+                "sat_calls": metrics.sat_calls,
+                "proven": metrics.proven,
+                "disproven": metrics.disproven,
+                "unknown": metrics.unknown,
+                "escalations": metrics.escalations,
+                "unknown_after_escalation": metrics.unknown_after_escalation,
+                "vectors_simulated": metrics.vectors_simulated,
+                "waves": metrics.waves,
+                "degraded_pairs": metrics.degraded_pairs,
+                "sim_retries": metrics.sim_retries,
+                "solver_retries": metrics.solver_retries,
+                "worker_failures": metrics.worker_failures,
+                "sim_time": metrics.sim_time,
+                "sat_time": metrics.sat_time,
+                "sat_phase_time": metrics.sat_phase_time,
+                "worker_sat_time": metrics.worker_sat_time,
+            },
+        )
+        for attr, prefix in (
+            ("implication", "simgen.implication"),
+            ("decision", "simgen.decision"),
+        ):
+            stats = getattr(
+                getattr(self.generator, attr, None), "stats", None
+            )
+            if isinstance(stats, dict):
+                registry.inc_many(prefix, stats)
+        seen: set[int] = set()
+        for sim in (self.simulator, self._resim_sim):
+            if sim is None or id(sim) in seen:
+                continue
+            seen.add(id(sim))
+            stats = getattr(sim, "stats", None)
+            if isinstance(stats, dict):
+                registry.inc_many("sim", stats)
+
     def run(self) -> SweepResult:
         """Full sweep: simulation phase followed by the SAT phase."""
-        classes, metrics = self.run_simulation_phase()
-        return self.run_sat_phase(classes, metrics)
+        tracer = self.tracer
+        with tracer.span("run", kind="sweep", engine=self.config.engine):
+            classes, metrics = self.run_simulation_phase()
+            result = self.run_sat_phase(classes, metrics)
+        self.publish_metrics(result.metrics)
+        if tracer.enabled:
+            tracer.counters(self.registry.as_dict())
+        return result

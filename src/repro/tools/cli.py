@@ -13,6 +13,11 @@ Commands operate on BLIF or .bench files (format chosen by extension):
 * ``gen     <benchmark> -o <out>``     — emit a suite benchmark as a file
 * ``bench   [--quick]``                — perf regression harness
                                           (writes ``BENCH_perf.json``)
+* ``trace   <file.jsonl>``             — analyze / validate a structured
+                                          trace recorded with ``--trace``
+
+``sweep`` and ``cec`` accept ``--trace FILE`` to record a structured JSONL
+trace of the run (see docs/OBSERVABILITY.md).
 
 Example::
 
@@ -122,9 +127,32 @@ def _run_budget(args: argparse.Namespace) -> Optional[Budget]:
     return Budget(seconds=args.timeout)
 
 
+def _open_tracer(args: argparse.Namespace, command: str):
+    """Build the structured tracer from ``--trace`` (None = disabled).
+
+    Invocation metadata (command, seed, jobs) goes into the header only —
+    it is jobs-dependent and the header is excluded from the deterministic
+    trace projection.
+    """
+    path = getattr(args, "trace", None)
+    if path is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer(
+        path,
+        meta={
+            "command": command,
+            "seed": args.seed,
+            "jobs": getattr(args, "jobs", 1),
+        },
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     network = load_network(args.input)
     generator = make_generator(args.strategy, network, seed=args.seed)
+    tracer = _open_tracer(args, "sweep")
     config = SweepConfig(
         seed=args.seed,
         iterations=args.iterations,
@@ -132,9 +160,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         budget=_run_budget(args),
         max_escalations=2 if args.escalate else 0,
         jobs=args.jobs,
+        tracer=tracer,
     )
     engine = SweepEngine(network, generator, config)
-    result = engine.run()
+    try:
+        result = engine.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if tracer is not None:
+        print(f"trace -> {args.trace}")
     metrics = result.metrics
     if metrics.cost_history:
         print(
@@ -142,7 +177,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{metrics.sat_calls} SAT calls "
             f"({metrics.proven} proven, {metrics.disproven} disproven, "
             f"{metrics.unknown} unknown), "
-            f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s"
+            f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s "
+            f"(phase {metrics.sat_phase_time:.2f}s)"
         )
     if metrics.escalations:
         print(
@@ -166,18 +202,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_cec(args: argparse.Namespace) -> int:
     network_a = load_network(args.golden)
     network_b = load_network(args.revised)
-    result = check_equivalence(
-        network_a,
-        network_b,
-        generator_factory=factory(args.strategy),
-        config=SweepConfig(
-            seed=args.seed,
-            iterations=args.iterations,
-            budget=_run_budget(args),
-            max_escalations=2 if args.escalate else 0,
-            jobs=args.jobs,
-        ),
-    )
+    tracer = _open_tracer(args, "cec")
+    try:
+        result = check_equivalence(
+            network_a,
+            network_b,
+            generator_factory=factory(args.strategy),
+            config=SweepConfig(
+                seed=args.seed,
+                iterations=args.iterations,
+                budget=_run_budget(args),
+                max_escalations=2 if args.escalate else 0,
+                jobs=args.jobs,
+                tracer=tracer,
+            ),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if tracer is not None:
+        print(f"trace -> {args.trace}")
     verdict = result.verdict.upper()
     print(f"{verdict}  ({result.metrics.sat_calls} SAT calls)")
     for name, state in result.outputs.items():
@@ -250,6 +294,26 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render, summarize, validate_records
+
+    try:
+        records = load_trace(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validate_records(records)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+        print(f"trace OK: {len(records)} records")
+        return 0
+    print(render(summarize(records), top=args.top))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily: the harness pulls in the whole experiment stack.
     from repro.experiments.perfbench import main as bench_main
@@ -308,6 +372,10 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="SAT-phase worker processes (results identical for any N)",
     )
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="record a structured JSONL trace of the run",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -332,6 +400,10 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="SAT-phase worker processes (verdicts identical for any N)",
     )
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="record a structured JSONL trace of the run",
+    )
     p.set_defaults(fn=_cmd_cec)
 
     p = sub.add_parser("putontop", help="stack copies (&putontop)")
@@ -355,6 +427,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--patterns", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_sim)
+
+    p = sub.add_parser("trace", help="analyze/validate a structured trace")
+    p.add_argument("input", help="JSONL trace written by --trace")
+    p.add_argument(
+        "--validate", action="store_true",
+        help="check schema only (unclosed spans, negative durations, ...)",
+    )
+    p.add_argument(
+        "--top", type=int, default=5,
+        help="hottest SAT pairs to list in the summary (default 5)",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("bench", help="sweep performance regression harness")
     p.add_argument("--quick", action="store_true", help="CI smoke subset")

@@ -1,0 +1,108 @@
+"""Golden traces: fixed-seed flows emit bit-stable event sequences.
+
+The deterministic projection (volatile timing stripped, pool lifecycle
+dropped) of a traced sweep must be identical across repeated runs AND
+across worker counts — the trace is part of the deterministic-merge
+contract, not a best-effort log.
+"""
+
+import pytest
+
+from repro.core.strategies import factory, make_generator
+from repro.obs import (
+    Tracer,
+    deterministic_projection,
+    summarize,
+    validate_records,
+)
+from repro.sweep import SweepConfig, SweepEngine, check_equivalence
+from tests.conftest import random_network
+from tests.sweep.test_parallel import duplicated_network
+
+
+def traced_sweep(net, jobs, seed=11):
+    records = []
+    config = SweepConfig(
+        seed=seed, jobs=jobs, tracer=Tracer(records, meta={"jobs": jobs})
+    )
+    generator = make_generator("RandS", net, seed=seed)
+    result = SweepEngine(net, generator, config).run()
+    return records, result
+
+
+class TestGoldenSweepTrace:
+    def test_trace_validates_clean(self):
+        records, _ = traced_sweep(duplicated_network(), jobs=1)
+        assert validate_records(records) == []
+
+    def test_repeat_runs_are_bit_stable(self):
+        net = duplicated_network()
+        first, _ = traced_sweep(net, jobs=1)
+        second, _ = traced_sweep(net, jobs=1)
+        assert deterministic_projection(first) == deterministic_projection(
+            second
+        )
+
+    def test_projection_invariant_across_worker_counts(self):
+        net = duplicated_network()
+        projections = {}
+        for jobs in (2, 3):
+            records, _ = traced_sweep(net, jobs=jobs)
+            assert validate_records(records) == []
+            projections[jobs] = deterministic_projection(records)
+        assert projections[2] == projections[3]
+
+    def test_trace_counts_match_metrics(self):
+        records, result = traced_sweep(duplicated_network(), jobs=2)
+        summary = summarize(records)
+        assert len(summary.sat_calls) == result.metrics.sat_calls
+        verdicts = sum(
+            1 for c in summary.sat_calls if c["verdict"] in ("sat", "unsat")
+        )
+        assert verdicts == result.metrics.proven + result.metrics.disproven
+        counters = summary.counters
+        assert counters["sweep.sat_calls"] == result.metrics.sat_calls
+        assert counters["sweep.proven"] == result.metrics.proven
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_phase_spans_reconcile_with_wall_time(self, jobs):
+        records, _ = traced_sweep(duplicated_network(), jobs=jobs)
+        summary = summarize(records)
+        assert summary.total_s > 0
+        # Acceptance bar: attributed phase time covers the run span within
+        # 5% (the residue is inter-phase setup: compiles, class bookkeeping).
+        assert summary.coverage >= 0.95
+        assert sum(summary.phases.values()) <= summary.total_s * 1.02
+
+
+class TestGoldenCecTrace:
+    def test_cec_trace_validates_and_is_worker_invariant(self):
+        golden = random_network(seed=5, num_inputs=5, num_gates=20)
+        revised = random_network(seed=6, num_inputs=5, num_gates=20)
+        projections = {}
+        for jobs in (1, 2):
+            records = []
+            check_equivalence(
+                golden,
+                revised,
+                generator_factory=factory("RandS"),
+                config=SweepConfig(
+                    seed=7, jobs=jobs, tracer=Tracer(records, meta={})
+                ),
+            )
+            assert validate_records(records) == []
+            projections[jobs] = records
+        # Serial resolves fallbacks inline, pooled defers them to one batch;
+        # the *per-jobs* projection must still be internally repeatable.
+        repeat = []
+        check_equivalence(
+            golden,
+            revised,
+            generator_factory=factory("RandS"),
+            config=SweepConfig(
+                seed=7, jobs=2, tracer=Tracer(repeat, meta={})
+            ),
+        )
+        assert deterministic_projection(repeat) == deterministic_projection(
+            projections[2]
+        )

@@ -1,0 +1,108 @@
+"""MetricsRegistry instruments: typing, merge determinism, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.inc("sweep.proven")
+        registry.inc("sweep.proven", 4)
+        assert registry.counter("sweep.proven").value == 5
+
+    def test_timer_accumulates_and_counts(self):
+        registry = MetricsRegistry()
+        registry.add_time("sat.solve", 0.5)
+        registry.add_time("sat.solve", 0.25)
+        timer = registry.timer("sat.solve")
+        assert timer.total == pytest.approx(0.75)
+        assert timer.count == 2
+
+    def test_timer_context_manager_closes_on_exception(self):
+        registry = MetricsRegistry()
+        ticks = iter([1.0, 3.0])
+        with pytest.raises(ValueError):
+            with registry.timer("x").time(clock=lambda: next(ticks)):
+                raise ValueError("boom")
+        assert registry.timer("x").total == pytest.approx(2.0)
+        assert registry.timer("x").count == 1
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("conflicts", bounds=(0, 10, 100))
+        for value in (0, 3, 50, 10_000):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 1, 1, 1]
+        assert histogram.count == 4
+
+    def test_inc_many_splits_ints_and_floats(self):
+        registry = MetricsRegistry()
+        registry.inc_many(
+            "sim",
+            {"batches": 3, "sim_time": 0.5, "flag": True, "name": "x", "zero": 0},
+        )
+        snapshot = registry.as_dict()
+        assert snapshot["sim.batches"] == 3
+        assert snapshot["sim.sim_time.total_s"] == pytest.approx(0.5)
+        assert "sim.flag" not in snapshot  # bools are not counters
+        assert "sim.name" not in snapshot
+        assert "sim.zero" not in snapshot  # zero counters stay unmaterialized
+
+
+class TestMerge:
+    def test_merge_sums_every_instrument(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("calls", 2)
+        b.inc("calls", 3)
+        a.add_time("solve", 0.5)
+        b.add_time("solve", 0.5)
+        a.observe("conflicts", 1)
+        b.observe("conflicts", 7)
+        a.merge(b)
+        assert a.counter("calls").value == 5
+        assert a.timer("solve").count == 2
+        assert a.histogram("conflicts").count == 2
+
+    def test_merge_order_invariant_for_integers(self):
+        parts = []
+        for value in (3, 1, 4):
+            registry = MetricsRegistry()
+            registry.inc("calls", value)
+            registry.observe("conflicts", value)
+            parts.append(registry)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        for part in reversed(parts):
+            backward.merge(part)
+        strip = lambda d: {k: v for k, v in d.items() if not k.endswith("_s")}
+        assert strip(forward.as_dict()) == strip(backward.as_dict())
+
+    def test_merge_rejects_bound_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1, 2))
+        b.histogram("h", bounds=(1, 2, 3))
+        b.observe("h", 1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSnapshot:
+    def test_as_dict_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.inc("b.count_things")
+        registry.inc("a.count_things")
+        registry.add_time("z.solve", 1.5)
+        registry.observe("conflicts", 3)
+        snapshot = registry.as_dict()
+        counter_keys = [k for k in snapshot if k.endswith("count_things")]
+        assert counter_keys == sorted(counter_keys)
+        assert snapshot["z.solve.total_s"] == pytest.approx(1.5)
+        assert snapshot["conflicts.buckets"][3] == 1  # 3 lands in bucket <=5
+        # The *_s convention: every float second total is volatile-named so
+        # trace projections drop exactly the timing keys.
+        for key, value in snapshot.items():
+            if isinstance(value, float):
+                assert key.endswith("_s")

@@ -1,0 +1,98 @@
+"""Trace schema validator: every malformation class is caught."""
+
+import json
+
+from repro.obs import Tracer, validate_file, validate_records
+
+
+def well_formed():
+    records = []
+    tracer = Tracer(records, meta={})
+    with tracer.span("phase", phase="sat"):
+        tracer.event("sat.call", dur=0.1)
+    tracer.counters({"x": 1})
+    return records
+
+
+class TestValidateRecords:
+    def test_clean_trace_passes(self):
+        assert validate_records(well_formed()) == []
+
+    def test_empty_trace_rejected(self):
+        assert validate_records([]) == ["trace is empty"]
+
+    def test_missing_header_rejected(self):
+        records = well_formed()[1:]
+        assert any("must start with a header" in e for e in validate_records(records))
+
+    def test_duplicate_header_rejected(self):
+        records = well_formed()
+        duplicate = dict(records[0], i=records[-1]["i"] + 1)
+        assert any(
+            "duplicate header" in e for e in validate_records(records + [duplicate])
+        )
+
+    def test_unsupported_schema_version_rejected(self):
+        records = well_formed()
+        records[0] = dict(records[0], schema=999)
+        assert any("unsupported schema" in e for e in validate_records(records))
+
+    def test_unclosed_span_rejected(self):
+        records = []
+        tracer = Tracer(records, meta={})
+        tracer.begin("phase", phase="sat")
+        errors = validate_records(records)
+        assert any("unclosed span" in e for e in errors)
+
+    def test_end_without_begin_rejected(self):
+        records = well_formed()
+        records.append({"type": "end", "id": 999, "t": 1.0, "dur": 0.0, "i": 99})
+        assert any("without a matching begin" in e for e in validate_records(records))
+
+    def test_negative_duration_rejected(self):
+        records = well_formed()
+        for record in records:
+            if record["type"] == "end":
+                record["dur"] = -0.5
+        assert any("negative duration" in e for e in validate_records(records))
+
+    def test_negative_event_duration_rejected(self):
+        records = well_formed()
+        for record in records:
+            if record["type"] == "event":
+                record["dur"] = -1e-9
+        assert any("negative duration" in e for e in validate_records(records))
+
+    def test_non_increasing_sequence_rejected(self):
+        records = well_formed()
+        records[-1]["i"] = 0
+        assert any("not increasing" in e for e in validate_records(records))
+
+    def test_unknown_record_type_rejected(self):
+        records = well_formed()
+        records.append({"type": "mystery", "i": records[-1]["i"] + 1})
+        assert any("unknown record type" in e for e in validate_records(records))
+
+    def test_double_open_span_id_rejected(self):
+        records = well_formed()
+        seq = records[-1]["i"]
+        records += [
+            {"type": "begin", "name": "a", "id": 7, "t": 0.0, "i": seq + 1},
+            {"type": "begin", "name": "b", "id": 7, "t": 0.0, "i": seq + 2},
+        ]
+        assert any("already open" in e for e in validate_records(records))
+
+
+class TestValidateFile:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, meta={"command": "test"}) as tracer:
+            with tracer.span("phase", phase="sat"):
+                pass
+        assert validate_file(path) == []
+
+    def test_malformed_json_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "header"}) + "\n{not json\n")
+        errors = validate_file(path)
+        assert len(errors) == 1 and "invalid JSON" in errors[0]

@@ -1,0 +1,142 @@
+"""Tracer record emission, span lifecycle, and the deterministic projection."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    deterministic_projection,
+    validate_records,
+)
+
+
+def fake_clock(times):
+    """A deterministic clock yielding the given readings in order."""
+    readings = iter(times)
+    return lambda: next(readings)
+
+
+class TestTracer:
+    def test_header_comes_first_with_schema_and_meta(self):
+        records = []
+        Tracer(records, meta={"command": "test", "jobs": 3})
+        header = records[0]
+        assert header["type"] == "header"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["meta"] == {"command": "test", "jobs": 3}
+        assert header["i"] == 0
+
+    def test_span_emits_begin_end_with_duration(self):
+        records = []
+        tracer = Tracer(records, clock=fake_clock([0.0, 1.0, 3.5]))
+        with tracer.span("phase", phase="sat"):
+            pass
+        begin, end = records[1], records[2]
+        assert begin["type"] == "begin" and begin["name"] == "phase"
+        assert begin["phase"] == "sat"
+        assert end["type"] == "end" and end["id"] == begin["id"]
+        assert end["dur"] == pytest.approx(2.5)
+        assert tracer.open_spans == 0
+
+    def test_span_closes_on_exception(self):
+        records = []
+        tracer = Tracer(records)
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase", phase="sat"):
+                raise RuntimeError("boom")
+        assert tracer.open_spans == 0
+        assert validate_records(records) == []
+
+    def test_sequence_numbers_strictly_increase(self):
+        records = []
+        tracer = Tracer(records)
+        tracer.event("a")
+        with tracer.span("s"):
+            tracer.event("b")
+        tracer.counters({"x": 1})
+        seqs = [r["i"] for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_event_with_duration(self):
+        records = []
+        tracer = Tracer(records)
+        tracer.event("sat.call", rep=1, member=2, dur=0.25)
+        event = records[-1]
+        assert event["type"] == "event"
+        assert event["rep"] == 1 and event["dur"] == 0.25
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, meta={"k": "v"}) as tracer:
+            tracer.event("ping")
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "header"
+        assert parsed[1]["name"] == "ping"
+
+    def test_file_like_sink_stays_open(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("ping")
+        tracer.close()
+        assert not sink.closed  # caller owns the file
+        assert "ping" in sink.getvalue()
+
+    def test_open_spans_counts_unclosed(self):
+        records = []
+        tracer = Tracer(records)
+        tracer.begin("phase")
+        assert tracer.open_spans == 1
+        assert any("unclosed span" in e for e in validate_records(records))
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("phase", phase="sat"):
+            NULL_TRACER.event("x", dur=1.0)
+        NULL_TRACER.counters({"a": 1})
+        NULL_TRACER.end(NULL_TRACER.begin("y"))
+        assert NULL_TRACER.open_spans == 0
+        NULL_TRACER.close()
+
+
+class TestDeterministicProjection:
+    def test_strips_header_timing_and_pool_records(self):
+        records = []
+        tracer = Tracer(records, meta={"jobs": 4})
+        with tracer.span("phase", phase="sat"):
+            tracer.event("pool.dispatch", count=7)
+            tracer.event("sat.call", rep=1, verdict="unsat", dur=0.5)
+        tracer.counters({"sweep.proven": 3, "sat.solve.total_s": 0.4})
+        projected = deterministic_projection(records)
+        assert all(r.get("type") != "header" for r in projected)
+        names = [r.get("name") for r in projected]
+        assert "pool.dispatch" not in names
+        for record in projected:
+            assert "t" not in record and "dur" not in record
+        counters = [r for r in projected if r["type"] == "counters"][0]
+        assert counters["values"] == {"sweep.proven": 3}
+
+    def test_projection_keeps_trajectory_attributes(self):
+        records = []
+        tracer = Tracer(records)
+        tracer.event("sat.call", rep=9, member=4, verdict="sat", conflicts=2)
+        (event,) = deterministic_projection(records)
+        assert event["rep"] == 9 and event["conflicts"] == 2
+
+    def test_identical_flows_project_identically(self):
+        def flow():
+            records = []
+            tracer = Tracer(records, meta={"run": id(records)})
+            with tracer.span("phase", phase="random"):
+                tracer.event("refine", step=1, cost=10)
+            return records
+
+        assert deterministic_projection(flow()) == deterministic_projection(
+            flow()
+        )

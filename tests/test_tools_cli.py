@@ -171,3 +171,37 @@ class TestConvertAndSim:
         out = capsys.readouterr().out
         assert "toggle rate" in out
         assert "patterns          : 64" in out
+
+
+class TestTraceCommand:
+    def test_sweep_trace_validates_and_summarizes(
+        self, blif_file, tmp_path, capsys
+    ):
+        _, path = blif_file
+        trace_path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", str(path), "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+        assert main(["trace", str(trace_path), "--validate"]) == 0
+        assert "trace OK" in capsys.readouterr().out
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase attribution" in out
+        assert "command=sweep" in out
+
+    def test_cec_trace_validates(self, blif_file, tmp_path, capsys):
+        _, path = blif_file
+        trace_path = tmp_path / "cec.jsonl"
+        assert main(
+            ["cec", str(path), str(path), "--trace", str(trace_path)]
+        ) == 0
+        assert main(["trace", str(trace_path), "--validate"]) == 0
+
+    def test_trace_validate_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"event","name":"x","t":0.0,"i":0}\n')
+        assert main(["trace", str(bad), "--validate"]) == 1
+        assert "invalid:" in capsys.readouterr().err
+
+    def test_trace_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
