@@ -6,6 +6,14 @@ themselves for fine-grained control.
 """
 
 from repro.core.assignment import Assignment, Conflict
+from repro.core.compiled import (
+    GENERATOR_BACKENDS,
+    CompiledSimGenGenerator,
+    CompiledSimGenKernel,
+    KernelConflict,
+    adapt_backend,
+    clear_transition_cache,
+)
 from repro.core.decision import (
     DEFAULT_ALPHA,
     DEFAULT_BETA,
@@ -40,17 +48,21 @@ from repro.core.strategies import SIMGEN, STRATEGY_NAMES, factory, make_generato
 __all__ = [
     "Assignment",
     "BaseVectorGenerator",
+    "CompiledSimGenGenerator",
+    "CompiledSimGenKernel",
     "Conflict",
     "DEFAULT_ALPHA",
     "DEFAULT_BETA",
     "DecisionEngine",
     "DecisionResult",
     "DecisionStrategy",
+    "GENERATOR_BACKENDS",
     "GenerationReport",
     "HybridGenerator",
     "ImplicationEngine",
     "ImplicationOutcome",
     "ImplicationStrategy",
+    "KernelConflict",
     "OneDistanceGenerator",
     "RandomGenerator",
     "SatCexGenerator",
@@ -59,8 +71,10 @@ __all__ = [
     "STRATEGY_NAMES",
     "SimGenGenerator",
     "TargetedVectorGenerator",
+    "adapt_backend",
     "alternating_outgold",
     "classes_cost",
+    "clear_transition_cache",
     "factory",
     "level_alternating_outgold",
     "make_generator",

@@ -34,6 +34,11 @@ from repro.network.network import Network
 DEFAULT_ALPHA = 100.0
 DEFAULT_BETA = 1.0
 
+#: Default cap on cached per-node row resolutions.  Overflow clears the
+#: cache (a pure cache: rows are re-derived on demand, trajectories are
+#: unaffected) and counts dropped entries in ``stats["cache_evictions"]``.
+DEFAULT_ROWS_CACHE_CAP = 1 << 16
+
 
 class DecisionStrategy(Enum):
     """Row-selection policy for decisions."""
@@ -90,12 +95,18 @@ class DecisionEngine:
         rng: Optional[random.Random] = None,
         alpha: float = DEFAULT_ALPHA,
         beta: float = DEFAULT_BETA,
+        rows_cache_cap: int = DEFAULT_ROWS_CACHE_CAP,
     ):
         self.network = network
         self.strategy = strategy
         self.rng = rng or random.Random(0)
         self.alpha = alpha
         self.beta = beta
+        if rows_cache_cap < 1:
+            raise ValueError(
+                f"rows_cache_cap must be >= 1, got {rows_cache_cap}"
+            )
+        self._rows_cache_cap = rows_cache_cap
         self._mffc = MffcCache(network)
         #: uid -> (fanins, rows); None for PIs/constants.  Lazily resolved
         #: so row lookups skip re-hashing the truth table per decision.
@@ -103,7 +114,12 @@ class DecisionEngine:
             int, Optional[tuple[tuple[int, ...], tuple[Row, ...]]]
         ] = {}
         #: Work counters for the metrics registry (``simgen.decision.*``).
-        self.stats = {"decisions": 0, "conflicts": 0, "rows_committed": 0}
+        self.stats = {
+            "decisions": 0,
+            "conflicts": 0,
+            "rows_committed": 0,
+            "cache_evictions": 0,
+        }
 
     def _rows_at(
         self, uid: int
@@ -116,6 +132,10 @@ class DecisionEngine:
                 if node.is_pi or node.is_const
                 else (tuple(node.fanins), rows_of(node.table))
             )
+            if len(self._node_rows) >= self._rows_cache_cap:
+                # Pure cache: clearing only costs re-derivation later.
+                self.stats["cache_evictions"] += len(self._node_rows)
+                self._node_rows.clear()
             self._node_rows[uid] = info
         return info
 

@@ -29,6 +29,15 @@ from repro.core.assignment import Assignment, Conflict
 from repro.network.network import Network
 
 
+#: Default cap on memoized examination states across all gates of one
+#: engine.  3^(k+1) states per K-input gate bounds each gate, but a large
+#: network multiplies that by its gate count; the cap bounds the *total*.
+#: Overflow clears every gate memo at once (they are pure caches — results
+#: are recomputed on demand, trajectories are unaffected) and counts the
+#: dropped entries in ``stats["memo_evictions"]``.
+DEFAULT_MEMO_CAP = 1 << 20
+
+
 class ImplicationStrategy(Enum):
     """How much to imply (paper §4)."""
 
@@ -117,9 +126,14 @@ class ImplicationEngine:
         self,
         network: Network,
         strategy: ImplicationStrategy = ImplicationStrategy.ADVANCED,
+        memo_cap: int = DEFAULT_MEMO_CAP,
     ):
         self.network = network
         self.strategy = strategy
+        if memo_cap < 1:
+            raise ValueError(f"memo_cap must be >= 1, got {memo_cap}")
+        self._memo_cap = memo_cap
+        self._memo_entries = 0
         #: uid -> (fanins, packed rows, memo); None for PIs and constants.
         #: memo: (known_mask, known_values, output) -> forced pins as
         #: ((pin_index, value), ...) with pin index n = the output, or None
@@ -140,6 +154,7 @@ class ImplicationEngine:
             "examinations": 0,
             "forced_assignments": 0,
             "conflicts": 0,
+            "memo_evictions": 0,
         }
         for node in network.nodes():
             uid = node.uid
@@ -181,6 +196,9 @@ class ImplicationEngine:
             forced = memo[key] = self._examine_state(
                 rows, n, known_mask, known_values, output
             )
+            self._memo_entries += 1
+            if self._memo_entries > self._memo_cap:
+                self._evict_memos()
         if forced is None:
             return None
         return [
@@ -243,6 +261,18 @@ class ImplicationEngine:
             result.append((n, base_out))
         return tuple(result)
 
+    def _evict_memos(self) -> None:
+        """Drop every gate memo once the total-entry cap is exceeded.
+
+        Memos are pure caches of :meth:`_examine_state`, so clearing them
+        never changes a trajectory — only the recomputation cost.
+        """
+        self.stats["memo_evictions"] += self._memo_entries
+        for info in self._gate_info.values():
+            if info is not None:
+                info[2].clear()
+        self._memo_entries = 0
+
     def propagate(
         self, assignment: Assignment, seeds: Iterable[int]
     ) -> ImplicationOutcome:
@@ -298,6 +328,9 @@ class ImplicationEngine:
                     forced = memo[key] = self._examine_state(
                         rows, n, known_mask, known_values, output
                     )
+                    self._memo_entries += 1
+                    if self._memo_entries > self._memo_cap:
+                        self._evict_memos()
                 if forced is None:
                     outcome.conflict = True
                     outcome.conflict_node = uid

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.compiled import GENERATOR_BACKENDS, CompiledSimGenGenerator
 from repro.core.decision import DecisionStrategy
 from repro.core.generator import BaseVectorGenerator, SimGenGenerator
 from repro.core.implication import ImplicationStrategy
@@ -49,6 +50,7 @@ def make_generator(
     seed: int = 0,
     vectors_per_iteration: int = 4,
     max_targets: int = 8,
+    simgen_backend: str = "compiled",
 ) -> BaseVectorGenerator:
     """Instantiate a generator by its paper name.
 
@@ -59,7 +61,17 @@ def make_generator(
         seed: RNG seed (deterministic runs).
         vectors_per_iteration: Vectors emitted per guided iteration.
         max_targets: Target-node cap per vector for targeted generators.
+        simgen_backend: ``"compiled"`` (default) runs the SimGen variants on
+            the array-lowered kernel of :mod:`repro.core.compiled`;
+            ``"reference"`` keeps the dict-walking engines.  Trajectories
+            are bit-identical either way; only speed differs.  Ignored for
+            non-SimGen generators.
     """
+    if simgen_backend not in GENERATOR_BACKENDS:
+        raise GenerationError(
+            f"unknown simgen backend {simgen_backend!r} "
+            "(use 'compiled' or 'reference')"
+        )
     key = name.strip().lower()
     if key == "rands":
         # Random simulation covers many patterns per iteration cheaply;
@@ -79,9 +91,14 @@ def make_generator(
         )
     if key == "simgen":
         key = SIMGEN.lower()
+    cls = (
+        CompiledSimGenGenerator
+        if simgen_backend == "compiled"
+        else SimGenGenerator
+    )
     for config_name, (impl, dec) in _SIMGEN_CONFIGS.items():
         if key == config_name.lower():
-            return SimGenGenerator(
+            return cls(
                 network,
                 seed,
                 implication_strategy=impl,

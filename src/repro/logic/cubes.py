@@ -17,7 +17,7 @@ from functools import lru_cache
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import LogicError
-from repro.logic.truthtable import TruthTable
+from repro.logic.truthtable import MAX_VARS, TruthTable
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,51 +167,89 @@ class Row:
 # Minato–Morreale ISOP
 # ----------------------------------------------------------------------
 
-def _isop(lower: TruthTable, upper: TruthTable) -> tuple[list[Cube], TruthTable]:
-    """Compute an irredundant SOP ``F`` with ``lower <= F <= upper``.
+#: Per-arity (full minterm mask, per-variable projection masks) — hoisted so
+#: the ISOP recursion runs on plain integers with no TruthTable churn.
+_ISOP_MASKS = tuple(
+    (
+        TruthTable.full_mask(n),
+        tuple(TruthTable.var(n, i).bits for i in range(n)),
+    )
+    for n in range(MAX_VARS + 1)
+)
 
-    Returns the cube list and its characteristic function.
+
+def _isop_bits(
+    num_vars: int, lower: int, upper: int, full: int, vmasks: tuple[int, ...]
+) -> tuple[list[Cube], int]:
+    """Integer-only core of :func:`_isop`.
+
+    ``lower``/``upper`` are minterm masks; returns the cube list and the
+    minterm mask of its characteristic function.  The recursion mirrors
+    the classic construction exactly (same variable order, same cube
+    order) so covers are bit-for-bit reproducible.
     """
-    num_vars = lower.num_vars
-    if lower.bits == 0:
-        return [], TruthTable.const(num_vars, False)
-    if upper.bits == TruthTable.full_mask(num_vars):
-        return [Cube.full_dc(num_vars)], TruthTable.const(num_vars, True)
+    if lower == 0:
+        return [], 0
+    if upper == full:
+        return [Cube.full_dc(num_vars)], full
 
     # Pick the highest variable either bound actually depends on.
     var = -1
     for i in reversed(range(num_vars)):
-        if lower.depends_on(i) or upper.depends_on(i):
+        blk = 1 << i
+        half = full & ~vmasks[i]
+        if ((lower ^ (lower >> blk)) & half) or (
+            (upper ^ (upper >> blk)) & half
+        ):
             var = i
             break
     if var < 0:  # pragma: no cover - bounds constant yet not caught above
         raise LogicError("ISOP invariant violated: no support variable")
 
-    l0, l1 = lower.cofactor(var, 0), lower.cofactor(var, 1)
-    u0, u1 = upper.cofactor(var, 0), upper.cofactor(var, 1)
+    blk = 1 << var
+    vm = vmasks[var]
+    lo = full & ~vm
+    l0 = lower & lo
+    l0 |= l0 << blk
+    l1 = lower & vm
+    l1 |= l1 >> blk
+    u0 = upper & lo
+    u0 |= u0 << blk
+    u1 = upper & vm
+    u1 |= u1 >> blk
 
-    cubes0, f0 = _isop(TruthTable(num_vars, l0.bits & ~u1.bits), u0)
-    cubes1, f1 = _isop(TruthTable(num_vars, l1.bits & ~u0.bits), u1)
-
-    new_lower = TruthTable(num_vars, (l0.bits & ~f0.bits) | (l1.bits & ~f1.bits))
-    cubes2, f2 = _isop(new_lower, TruthTable(num_vars, u0.bits & u1.bits))
+    cubes0, f0 = _isop_bits(num_vars, l0 & ~u1, u0, full, vmasks)
+    cubes1, f1 = _isop_bits(num_vars, l1 & ~u0, u1, full, vmasks)
+    cubes2, f2 = _isop_bits(
+        num_vars, (l0 & ~f0) | (l1 & ~f1), u0 & u1, full, vmasks
+    )
 
     cubes = (
         [c.with_literal(var, 0) for c in cubes0]
         + [c.with_literal(var, 1) for c in cubes1]
         + cubes2
     )
-    var_tt = TruthTable.var(num_vars, var)
-    func_bits = (
-        (~var_tt.bits & f0.bits) | (var_tt.bits & f1.bits) | f2.bits
-    ) & TruthTable.full_mask(num_vars)
+    func_bits = (lo & f0) | (vm & f1) | f2
+    return cubes, func_bits
+
+
+def _isop(lower: TruthTable, upper: TruthTable) -> tuple[list[Cube], TruthTable]:
+    """Compute an irredundant SOP ``F`` with ``lower <= F <= upper``.
+
+    Returns the cube list and its characteristic function.
+    """
+    num_vars = lower.num_vars
+    full, vmasks = _ISOP_MASKS[num_vars]
+    cubes, func_bits = _isop_bits(num_vars, lower.bits, upper.bits, full, vmasks)
     return cubes, TruthTable(num_vars, func_bits)
 
 
 def isop(table: TruthTable) -> list[Cube]:
     """An irredundant SOP cover of ``table``'s onset."""
-    cubes, func = _isop(table, table)
-    if func.bits != table.bits:  # pragma: no cover - algorithmic safety net
+    num_vars = table.num_vars
+    full, vmasks = _ISOP_MASKS[num_vars]
+    cubes, func_bits = _isop_bits(num_vars, table.bits, table.bits, full, vmasks)
+    if func_bits != table.bits:  # pragma: no cover - algorithmic safety net
         raise LogicError("ISOP result does not equal the input function")
     return cubes
 

@@ -39,7 +39,11 @@ class TraceSummary:
     #: rung -> summed SAT seconds.
     rung_time: dict = field(default_factory=dict)
     #: Simulation seconds from refine events (per phase) + resim flushes.
+    #: Guided refine events split their window: the generator's share goes
+    #: to :attr:`simgen_s`, only the remainder counts here.
     sim_event_s: float = 0.0
+    #: Guided-vector generation seconds (``gen_s`` of refine events).
+    simgen_s: float = 0.0
     resim_s: float = 0.0
     resim_flushes: int = 0
     #: wave index -> {"size": n, "dur": s}.
@@ -101,7 +105,9 @@ def summarize(records: list) -> TraceSummary:
                         record.get("cost"),
                     )
                 )
-                summary.sim_event_s += float(record.get("dur", 0.0))
+                gen_s = float(record.get("gen_s", 0.0))
+                summary.simgen_s += gen_s
+                summary.sim_event_s += float(record.get("dur", 0.0)) - gen_s
             elif name == "sat.call":
                 summary.sat_calls.append(record)
                 rung = record.get("rung", 0)
@@ -143,7 +149,8 @@ def render(summary: TraceSummary, top: int = 5) -> str:
         f"SAT vs sim      : sat {_fmt_seconds(sat_s)} "
         f"({len(summary.sat_calls)} calls) | sim {_fmt_seconds(sim_s)} "
         f"(incl. {summary.resim_flushes} resim flushes, "
-        f"{_fmt_seconds(summary.resim_s)})"
+        f"{_fmt_seconds(summary.resim_s)}) | "
+        f"gen {_fmt_seconds(summary.simgen_s)}"
     )
     if summary.rung_time:
         rungs = "  ".join(

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.compiled import adapt_backend
 from repro.core.generator import BaseVectorGenerator
 from repro.errors import SweepError, TransientSimulationError
 from repro.network.network import Network
@@ -68,6 +69,11 @@ class SweepConfig:
     #: perf harness cross-checks this); reference exists as the measured
     #: baseline and for debugging.
     engine: str = "compiled"
+    #: SimGen generator backend: ``"compiled"`` / ``"reference"`` swap the
+    #: provided generator to the matching twin (bit-identical trajectories,
+    #: see :mod:`repro.core.compiled`); ``None`` keeps it as constructed.
+    #: Non-SimGen generators are unaffected.
+    simgen_backend: Optional[str] = None
     #: Max pending counterexamples per resimulation flush.  Pending
     #: vectors are always flushed before the classes are next consulted,
     #: so batching never changes results; wider batches form when several
@@ -132,8 +138,15 @@ class SweepMetrics:
 
     #: Equation-5 cost after random simulation and after every iteration.
     cost_history: list[int] = field(default_factory=list)
-    #: Wall-clock seconds spent generating + simulating vectors.
+    #: Wall-clock seconds spent *simulating* vectors (random rounds, guided
+    #: batches, counterexample resimulation).  Guided-vector generation is
+    #: charged to :attr:`simgen_time`; each guided iteration's window is
+    #: split between the two, so
+    #: ``sim_time + simgen_time >= sum(iteration_times)`` always holds.
     sim_time: float = 0.0
+    #: Wall-clock seconds spent inside the guided-vector generator (the
+    #: SimGen kernel's bucket; previously lumped into :attr:`sim_time`).
+    simgen_time: float = 0.0
     #: Seconds per guided iteration (aligned with ``cost_history[1:]``).
     iteration_times: list[float] = field(default_factory=list)
     #: Vectors simulated in the simulation phase.
@@ -231,8 +244,12 @@ class SweepEngine:
         observer: Optional[SweepObserver] = None,
     ):
         self.network = network
-        self.generator = generator
         self.config = config or SweepConfig()
+        self.generator = (
+            adapt_backend(generator, self.config.simgen_backend)
+            if self.config.simgen_backend is not None
+            else generator
+        )
         if self.config.engine not in ("compiled", "reference"):
             raise SweepError(
                 f"unknown engine {self.config.engine!r} "
@@ -349,6 +366,7 @@ class SweepEngine:
                         break
                     iter_start = time.perf_counter()
                     vectors = self.generator.generate(classes.splittable())
+                    gen_s = time.perf_counter() - iter_start
                     if vectors:
                         batch = PatternBatch(
                             self.network.pis, random.Random(self._rng.random())
@@ -361,7 +379,11 @@ class SweepEngine:
                             metrics.vectors_simulated += batch.width
                     elapsed = time.perf_counter() - iter_start
                     metrics.iteration_times.append(elapsed)
-                    metrics.sim_time += elapsed
+                    # The generate() window is the generator's bucket; the
+                    # rest of the iteration (batching + simulation) stays
+                    # under sim_time.  One owner per second, as always.
+                    metrics.simgen_time += gen_s
+                    metrics.sim_time += elapsed - gen_s
                     cost = classes.cost()
                     metrics.cost_history.append(cost)
                     self._notify("guided", iteration, cost)
@@ -373,6 +395,7 @@ class SweepEngine:
                             cost=cost,
                             width=len(vectors),
                             dur=elapsed,
+                            gen_s=gen_s,
                         )
             except KeyboardInterrupt:
                 metrics.interrupted = True
@@ -1011,6 +1034,7 @@ class SweepEngine:
                 "solver_retries": metrics.solver_retries,
                 "worker_failures": metrics.worker_failures,
                 "sim_time": metrics.sim_time,
+                "simgen_time": metrics.simgen_time,
                 "sat_time": metrics.sat_time,
                 "sat_phase_time": metrics.sat_phase_time,
                 "worker_sat_time": metrics.worker_sat_time,
@@ -1019,6 +1043,7 @@ class SweepEngine:
         for attr, prefix in (
             ("implication", "simgen.implication"),
             ("decision", "simgen.decision"),
+            ("kernel", "simgen.kernel"),
         ):
             stats = getattr(
                 getattr(self.generator, attr, None), "stats", None

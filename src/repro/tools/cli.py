@@ -151,7 +151,12 @@ def _open_tracer(args: argparse.Namespace, command: str):
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     network = load_network(args.input)
-    generator = make_generator(args.strategy, network, seed=args.seed)
+    generator = make_generator(
+        args.strategy,
+        network,
+        seed=args.seed,
+        simgen_backend=args.simgen_backend,
+    )
     tracer = _open_tracer(args, "sweep")
     config = SweepConfig(
         seed=args.seed,
@@ -177,7 +182,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{metrics.sat_calls} SAT calls "
             f"({metrics.proven} proven, {metrics.disproven} disproven, "
             f"{metrics.unknown} unknown), "
-            f"sim {metrics.sim_time:.2f}s sat {metrics.sat_time:.2f}s "
+            f"gen {metrics.simgen_time:.2f}s sim {metrics.sim_time:.2f}s "
+            f"sat {metrics.sat_time:.2f}s "
             f"(phase {metrics.sat_phase_time:.2f}s)"
         )
     if metrics.escalations:
@@ -207,7 +213,9 @@ def _cmd_cec(args: argparse.Namespace) -> int:
         result = check_equivalence(
             network_a,
             network_b,
-            generator_factory=factory(args.strategy),
+            generator_factory=factory(
+                args.strategy, simgen_backend=args.simgen_backend
+            ),
             config=SweepConfig(
                 seed=args.seed,
                 iterations=args.iterations,
@@ -321,7 +329,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
-    forwarded += ["-o", args.output, "--seed", str(args.seed)]
+    forwarded += [
+        "-o", args.output,
+        "--seed", str(args.seed),
+        "--repeats", str(args.repeats),
+    ]
     if args.min_speedup is not None:
         forwarded += ["--min-speedup", str(args.min_speedup)]
     if args.baseline is not None:
@@ -376,6 +388,11 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", metavar="FILE",
         help="record a structured JSONL trace of the run",
     )
+    p.add_argument(
+        "--simgen-backend", choices=("compiled", "reference"),
+        default="compiled", dest="simgen_backend",
+        help="guided-vector kernel (trajectories identical; compiled is faster)",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -403,6 +420,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--trace", metavar="FILE",
         help="record a structured JSONL trace of the run",
+    )
+    p.add_argument(
+        "--simgen-backend", choices=("compiled", "reference"),
+        default="compiled", dest="simgen_backend",
+        help="guided-vector kernel (trajectories identical; compiled is faster)",
     )
     p.set_defaults(fn=_cmd_cec)
 
@@ -444,6 +466,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--quick", action="store_true", help="CI smoke subset")
     p.add_argument("-o", "--output", default="BENCH_perf.json")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="cold runs per variant row; the fastest is reported",
+    )
     p.add_argument(
         "--min-speedup",
         type=float,

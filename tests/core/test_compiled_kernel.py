@@ -1,0 +1,395 @@
+"""Compiled SimGen kernel vs the reference engines: exact equivalence.
+
+The kernel of :mod:`repro.core.compiled` re-implements Assignment +
+ImplicationEngine + DecisionEngine on dense slot arrays; its contract is
+*bit-identical* behaviour, not merely functional equivalence.  The property
+suite here drives both implementations with the same random networks, pin
+states, and RNGs, and requires:
+
+* identical implication fixpoints (conflict flag, forced values, and the
+  *order* values were assigned in);
+* identical candidate-row sets for decisions;
+* identical decisions given equal RNGs (same draws, same commits);
+* identical generated vectors, reports, and sweep trajectories end to end.
+
+Cache bounding (implication memo, decision rows cache, kernel roulette
+weights) is exercised separately: evictions must count, and must never
+change a trajectory.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.compiled as compiled_mod
+from repro.core import make_generator
+from repro.core.assignment import Assignment
+from repro.core.compiled import (
+    CompiledSimGenGenerator,
+    CompiledSimGenKernel,
+    KernelConflict,
+    adapt_backend,
+)
+from repro.core.decision import DecisionEngine, DecisionStrategy
+from repro.core.generator import SimGenGenerator
+from repro.core.implication import ImplicationEngine, ImplicationStrategy
+from repro.core.assignment import Conflict
+from repro.errors import GenerationError
+from repro.sweep import SweepConfig, SweepEngine
+from tests.conftest import random_network
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+def seed_values(net, seed, count=3):
+    """A deterministic handful of (uid, value) seed assignments."""
+    rng = random.Random(seed)
+    nodes = [n.uid for n in net.nodes() if not n.is_const]
+    picks = rng.sample(nodes, min(count, len(nodes)))
+    return [(uid, rng.randint(0, 1)) for uid in picks]
+
+
+def reference_propagate(net, strategy, seeds):
+    """(conflict, ordered assignment items, stats) via the reference pair."""
+    assignment = Assignment(net)
+    engine = ImplicationEngine(net, strategy)
+    for uid, value in seeds:
+        try:
+            assignment.assign(uid, value)
+        except Conflict:
+            return True, None, engine.stats
+    outcome = engine.propagate(assignment, [uid for uid, _ in seeds])
+    if outcome.conflict:
+        return True, None, engine.stats
+    return False, list(assignment.as_dict().items()), engine.stats
+
+
+def kernel_propagate(net, strategy, seeds):
+    """The same run through :class:`CompiledSimGenKernel`."""
+    kernel = CompiledSimGenKernel(net, implication_strategy=strategy)
+    for uid, value in seeds:
+        try:
+            kernel.assign_uid(uid, value)
+        except KernelConflict:
+            return True, None, kernel.impl_stats
+    conflict, _ = kernel.propagate_uids([uid for uid, _ in seeds])
+    if conflict:
+        return True, None, kernel.impl_stats
+    return False, list(kernel.as_dict().items()), kernel.impl_stats
+
+
+# ----------------------------------------------------------------------
+# Implication fixpoint identity
+# ----------------------------------------------------------------------
+
+class TestImplicationIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(net_seed=st.integers(0, 1 << 16), pin_seed=st.integers(0, 1 << 16))
+    def test_advanced_fixpoint_matches_reference(self, net_seed, pin_seed):
+        net = random_network(seed=net_seed, num_inputs=4, num_gates=10)
+        seeds = seed_values(net, pin_seed)
+        ref = reference_propagate(net, ImplicationStrategy.ADVANCED, seeds)
+        com = kernel_propagate(net, ImplicationStrategy.ADVANCED, seeds)
+        # Conflict flag, every forced value, and the assignment ORDER.
+        assert ref[0] == com[0]
+        assert ref[1] == com[1]
+        # Work accounting matches too (same examinations, same forcings).
+        for key in ("propagate_calls", "examinations", "forced_assignments"):
+            assert ref[2][key] == com[2][key]
+
+    @settings(max_examples=40, deadline=None)
+    @given(net_seed=st.integers(0, 1 << 16), pin_seed=st.integers(0, 1 << 16))
+    def test_simple_fixpoint_matches_reference(self, net_seed, pin_seed):
+        net = random_network(seed=net_seed, num_inputs=4, num_gates=10)
+        seeds = seed_values(net, pin_seed)
+        ref = reference_propagate(net, ImplicationStrategy.SIMPLE, seeds)
+        com = kernel_propagate(net, ImplicationStrategy.SIMPLE, seeds)
+        assert ref[0] == com[0]
+        assert ref[1] == com[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(net_seed=st.integers(0, 1 << 16), pin_seed=st.integers(0, 1 << 16))
+    def test_checkpoint_revert_restores_packed_state(self, net_seed, pin_seed):
+        """Reverting must restore values AND the packed state indices."""
+        net = random_network(seed=net_seed, num_inputs=4, num_gates=10)
+        kernel = CompiledSimGenKernel(net)
+        before = (list(kernel._values), list(kernel._state))
+        marker = kernel.checkpoint()
+        for uid, value in seed_values(net, pin_seed):
+            try:
+                kernel.assign_uid(uid, value)
+            except KernelConflict:
+                break
+        kernel.propagate_uids([])
+        kernel.revert(marker)
+        assert (list(kernel._values), list(kernel._state)) == before
+        assert len(kernel) == 0
+
+
+# ----------------------------------------------------------------------
+# Decision identity
+# ----------------------------------------------------------------------
+
+class TestDecisionIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(net_seed=st.integers(0, 1 << 16), pin_seed=st.integers(0, 1 << 16))
+    def test_candidate_rows_match_reference(self, net_seed, pin_seed):
+        net = random_network(seed=net_seed, num_inputs=4, num_gates=10)
+        seeds = seed_values(net, pin_seed)
+
+        assignment = Assignment(net)
+        engine = ImplicationEngine(net)
+        decision = DecisionEngine(net)
+        kernel = CompiledSimGenKernel(net)
+        for uid, value in seeds:
+            try:
+                ref_fresh = assignment.assign(uid, value)
+            except Conflict:
+                ref_fresh = None
+            try:
+                com_fresh = kernel.assign_uid(uid, value)
+            except KernelConflict:
+                com_fresh = None
+            assert ref_fresh == com_fresh
+            if ref_fresh is None:
+                return
+        uids = [uid for uid, _ in seeds]
+        conflict_ref = engine.propagate(assignment, uids).conflict
+        conflict_com, _ = kernel.propagate_uids(uids)
+        assert conflict_ref == conflict_com
+        if conflict_ref:
+            return
+        for node in net.nodes():
+            if node.is_pi or node.is_const:
+                continue
+            ref_rows = decision.candidate_rows(assignment, node.uid)
+            com_rows = kernel.candidate_rows_uid(node.uid)
+            if ref_rows is None:
+                assert com_rows is None
+                continue
+            assert com_rows == [
+                (r.cube.mask, r.cube.values, r.output) for r in ref_rows
+            ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        net_seed=st.integers(0, 1 << 16),
+        pin_seed=st.integers(0, 1 << 16),
+        rng_seed=st.integers(0, 1 << 16),
+        strategy=st.sampled_from(list(DecisionStrategy)),
+    )
+    def test_decide_matches_reference(
+        self, net_seed, pin_seed, rng_seed, strategy
+    ):
+        """Equal RNGs must draw the same row and commit the same pins."""
+        net = random_network(seed=net_seed, num_inputs=4, num_gates=10)
+        seeds = seed_values(net, pin_seed, count=2)
+
+        assignment = Assignment(net)
+        decision = DecisionEngine(net, strategy, rng=random.Random(rng_seed))
+        kernel = CompiledSimGenKernel(net, decision_strategy=strategy)
+        kernel_rng = random.Random(rng_seed)
+        try:
+            for uid, value in seeds:
+                assignment.assign(uid, value)
+                kernel.assign_uid(uid, value)
+        except (Conflict, KernelConflict):
+            return
+        for node in net.nodes():
+            if node.is_pi or node.is_const:
+                continue
+            result = decision.decide(assignment, node.uid)
+            conflict, committed = kernel.decide(
+                kernel.slot(node.uid), kernel_rng
+            )
+            assert result.conflict == conflict
+            assert [
+                (kernel._uids[slot], kernel._values[slot])
+                for slot in committed
+            ] == result.assigned
+            assert list(assignment.as_dict().items()) == list(
+                kernel.as_dict().items()
+            )
+        assert decision.rng.getstate() == kernel_rng.getstate()
+
+
+# ----------------------------------------------------------------------
+# Generator / sweep identity
+# ----------------------------------------------------------------------
+
+SIMGEN_STRATEGIES = ("AI+DC+MFFC", "AI+DC", "AI+RD", "SI+RD")
+
+
+def sweep_trace(net, strategy, backend, seed):
+    gen = make_generator(strategy, net, seed=seed, simgen_backend=backend)
+    engine = SweepEngine(net, gen, SweepConfig(seed=seed, iterations=6))
+    classes, metrics = engine.run_simulation_phase()
+    reports = [
+        (
+            r.skipped,
+            r.survivors,
+            r.implications,
+            r.decisions,
+            r.conflicts,
+            None
+            if r.vector is None
+            else tuple(sorted(r.vector.values.items())),
+        )
+        for r in gen.reports
+    ]
+    return (
+        classes.all_classes(),
+        metrics.cost_history,
+        reports,
+        gen.rng.getstate(),
+    )
+
+
+class TestGeneratorIdentity:
+    @pytest.mark.parametrize("strategy", SIMGEN_STRATEGIES)
+    def test_sweep_trajectory_identical(self, strategy):
+        net = random_network(seed=21, num_inputs=6, num_gates=24)
+        assert sweep_trace(net, strategy, "compiled", seed=5) == sweep_trace(
+            net, strategy, "reference", seed=5
+        )
+
+    @settings(max_examples=12, deadline=None)
+    @given(net_seed=st.integers(0, 1 << 12), run_seed=st.integers(0, 1 << 12))
+    def test_random_networks_trajectory_identical(self, net_seed, run_seed):
+        net = random_network(seed=net_seed, num_inputs=5, num_gates=16)
+        assert sweep_trace(
+            net, "AI+DC+MFFC", "compiled", seed=run_seed
+        ) == sweep_trace(net, "AI+DC+MFFC", "reference", seed=run_seed)
+
+    def test_stats_shared_with_reference_engines(self):
+        """The kernel folds its work into the reference stats dicts."""
+        net = random_network(seed=3, num_inputs=5, num_gates=16)
+        gen = make_generator("AI+DC+MFFC", net, seed=1)
+        assert isinstance(gen, CompiledSimGenGenerator)
+        assert gen.kernel.impl_stats is gen.implication.stats
+        assert gen.kernel.dec_stats is gen.decision.stats
+        SweepEngine(net, gen, SweepConfig(seed=1, iterations=3)).run()
+        assert gen.implication.stats["propagate_calls"] > 0
+        assert gen.decision.stats["decisions"] > 0
+
+
+# ----------------------------------------------------------------------
+# Backend plumbing
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    def test_make_generator_rejects_unknown_backend(self):
+        net = random_network(seed=1)
+        with pytest.raises(GenerationError, match="unknown simgen backend"):
+            make_generator("AI+DC+MFFC", net, simgen_backend="vectorized")
+
+    def test_adapt_backend_rejects_unknown_backend(self):
+        net = random_network(seed=1)
+        gen = make_generator("AI+DC+MFFC", net, seed=1)
+        with pytest.raises(GenerationError, match="unknown simgen backend"):
+            adapt_backend(gen, "jit")
+
+    def test_adapt_backend_passthrough(self):
+        net = random_network(seed=1)
+        assert adapt_backend(None, "compiled") is None
+        rands = make_generator("RandS", net, seed=1)
+        assert adapt_backend(rands, "reference") is rands
+        gen = make_generator("AI+DC+MFFC", net, seed=1)
+        assert adapt_backend(gen, "compiled") is gen
+
+    def test_adapt_backend_roundtrip_preserves_trajectory(self):
+        net = random_network(seed=9, num_inputs=5, num_gates=16)
+
+        def run(gen):
+            engine = SweepEngine(net, gen, SweepConfig(seed=2, iterations=4))
+            classes, metrics = engine.run_simulation_phase()
+            return classes.all_classes(), metrics.cost_history
+
+        compiled = make_generator("AI+DC+MFFC", net, seed=2)
+        swapped = adapt_backend(compiled, "reference")
+        assert isinstance(swapped, SimGenGenerator)
+        assert not isinstance(swapped, CompiledSimGenGenerator)
+        assert swapped.rng is compiled.rng
+        baseline = run(make_generator("AI+DC+MFFC", net, seed=2))
+        assert run(swapped) == baseline
+
+
+# ----------------------------------------------------------------------
+# Bounded caches: evictions count, trajectories never change
+# ----------------------------------------------------------------------
+
+class TestBoundedCaches:
+    def test_implication_memo_cap_validates(self):
+        net = random_network(seed=1)
+        with pytest.raises(ValueError, match="memo_cap"):
+            ImplicationEngine(net, memo_cap=0)
+
+    def test_implication_memo_eviction_counts_and_preserves_results(self):
+        net = random_network(seed=4, num_inputs=5, num_gates=16)
+        seeds = seed_values(net, 11)
+        bounded = ImplicationEngine(net, memo_cap=1)
+        unbounded = ImplicationEngine(net)
+
+        def run(engine):
+            assignment = Assignment(net)
+            for uid, value in seeds:
+                assignment.assign(uid, value)
+            outcome = engine.propagate(assignment, [u for u, _ in seeds])
+            return outcome.conflict, list(assignment.as_dict().items())
+
+        assert run(bounded) == run(unbounded)
+        assert run(bounded) == run(unbounded)  # memo-hit path, post-eviction
+        assert bounded.stats["memo_evictions"] > 0
+        assert unbounded.stats["memo_evictions"] == 0
+
+    def test_decision_rows_cache_cap_validates(self):
+        net = random_network(seed=1)
+        with pytest.raises(ValueError, match="rows_cache_cap"):
+            DecisionEngine(net, rows_cache_cap=0)
+
+    def test_decision_rows_cache_eviction_counts(self):
+        net = random_network(seed=4, num_inputs=5, num_gates=16)
+        bounded = DecisionEngine(net, rows_cache_cap=1)
+        assignment = Assignment(net)
+        for node in net.nodes():
+            if not (node.is_pi or node.is_const):
+                bounded.candidate_rows(assignment, node.uid)
+        assert bounded.stats["cache_evictions"] > 0
+
+    def test_kernel_weights_eviction_counts_and_preserves_trajectory(
+        self, monkeypatch
+    ):
+        """With the weights cache capped at zero every decide evicts; the
+        roulette still replays identical floats, so the sweep trace is
+        unchanged."""
+        net = random_network(seed=3, num_inputs=6, num_gates=20)
+        baseline = sweep_trace(net, "AI+DC+MFFC", "compiled", seed=3)
+        monkeypatch.setattr(compiled_mod, "WEIGHTS_CACHE_CAP", 0)
+        gen = make_generator("AI+DC+MFFC", net, seed=3)
+        engine = SweepEngine(net, gen, SweepConfig(seed=3, iterations=6))
+        classes, metrics = engine.run_simulation_phase()
+        reports = [
+            (
+                r.skipped,
+                r.survivors,
+                r.implications,
+                r.decisions,
+                r.conflicts,
+                None
+                if r.vector is None
+                else tuple(sorted(r.vector.values.items())),
+            )
+            for r in gen.reports
+        ]
+        trace = (
+            classes.all_classes(),
+            metrics.cost_history,
+            reports,
+            gen.rng.getstate(),
+        )
+        assert trace == baseline
+        assert gen.kernel.stats["weights_evictions"] > 0
