@@ -62,6 +62,9 @@ from repro.errors import LogicError, ReproError
 from repro.logic import cubes as _cubes
 from repro.logic import truthtable as _tt
 from repro.network.network import Network
+from repro.network.traversal import cone_topological_order
+from repro.sat import tseitin as _tseitin
+from repro.sat.compiled import SAT_CORE, solver_class
 from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.patterns import PatternBatch
 from repro.simulation import simulator as _sim_mod
@@ -107,6 +110,7 @@ def clear_plan_caches() -> None:
     _cubes.packed_rows.cache_clear()
     _tt._cofactor_cached.cache_clear()
     _tt._var_mask.cache_clear()
+    _tseitin.gate_clause_templates.cache_clear()
     clear_transition_cache()
 
 
@@ -117,10 +121,15 @@ def seed_baseline():
     The compiled-engine PR replaced the per-minterm-loop TruthTable ops
     (``cofactor``/``depends_on``/``var``) with mask-and-shift
     implementations, and lowered the implication/decision engines' node
-    metadata ahead of time.  This shim reinstates the original code
-    (verbatim) so the seed baseline can be re-measured at any time instead
-    of trusting a number recorded once.  Trajectories are unchanged either
-    way — the harness asserts it.
+    metadata ahead of time; the SAT-core PR additionally rewrote the
+    Tseitin encoder onto cached clause templates with pruned cone walks
+    and dropped the Cube-object churn from the ISOP recursion.  This shim
+    reinstates the original code (verbatim) so the seed baseline can be
+    re-measured at any time instead of trusting a number recorded once.
+    Trajectories are unchanged either way — the harness asserts it.  (The
+    CDCL solver itself is *not* shimmed: the seed variant runs today's
+    reference solver via ``sat_backend="reference"``, whose semantics the
+    compiled arena core mirrors bit-for-bit.)
     """
 
     def legacy_cofactor(self, index, value):
@@ -296,6 +305,91 @@ def seed_baseline():
                 rank += self._mffc.depth(node.fanins[i])
         return rank
 
+    def legacy_isop_bits(num_vars, lower, upper, full, vmasks):
+        if lower == 0:
+            return [], 0
+        if upper == full:
+            return [_cubes.Cube.full_dc(num_vars)], full
+        var = -1
+        for i in reversed(range(num_vars)):
+            blk = 1 << i
+            half = full & ~vmasks[i]
+            if ((lower ^ (lower >> blk)) & half) or (
+                (upper ^ (upper >> blk)) & half
+            ):
+                var = i
+                break
+        if var < 0:  # pragma: no cover - bounds constant yet not caught above
+            raise LogicError("ISOP invariant violated: no support variable")
+        blk = 1 << var
+        vm = vmasks[var]
+        lo = full & ~vm
+        l0 = lower & lo
+        l0 |= l0 << blk
+        l1 = lower & vm
+        l1 |= l1 >> blk
+        u0 = upper & lo
+        u0 |= u0 << blk
+        u1 = upper & vm
+        u1 |= u1 >> blk
+        cubes0, f0 = legacy_isop_bits(num_vars, l0 & ~u1, u0, full, vmasks)
+        cubes1, f1 = legacy_isop_bits(num_vars, l1 & ~u0, u1, full, vmasks)
+        cubes2, f2 = legacy_isop_bits(
+            num_vars, (l0 & ~f0) | (l1 & ~f1), u0 & u1, full, vmasks
+        )
+        cubes = (
+            [c.with_literal(var, 0) for c in cubes0]
+            + [c.with_literal(var, 1) for c in cubes1]
+            + cubes2
+        )
+        func_bits = (lo & f0) | (vm & f1) | f2
+        return cubes, func_bits
+
+    def legacy_isop(table):
+        num_vars = table.num_vars
+        full, vmasks = _cubes._ISOP_MASKS[num_vars]
+        cubes, func_bits = legacy_isop_bits(
+            num_vars, table.bits, table.bits, full, vmasks
+        )
+        if func_bits != table.bits:  # pragma: no cover - safety net
+            raise LogicError("ISOP result does not equal the input function")
+        return cubes
+
+    def legacy_encode_cone(self, root):
+        for uid in cone_topological_order(self.network, [root]):
+            if uid in self._node_var:
+                continue
+            node = self.network.node(uid)
+            var = self.cnf.new_var()
+            self._node_var[uid] = var
+            if node.is_pi:
+                continue
+            if node.is_const:
+                self.cnf.add_clause([var if node.table.bits else -var])
+                continue
+            fanin_vars = [self._node_var[f] for f in node.fanins]
+            self._encode_gate(var, node.table, fanin_vars)
+        return self._node_var[root]
+
+    def legacy_cube_antecedent(cube, fanin_vars):
+        clause = []
+        for i, var in enumerate(fanin_vars):
+            lit = cube.literal(i)
+            if lit is None:
+                continue
+            clause.append(-var if lit else var)
+        return clause
+
+    def legacy_encode_gate(self, out_var, table, fanin_vars):
+        for cube in _cubes.isop_cover(table):
+            clause = legacy_cube_antecedent(cube, fanin_vars)
+            clause.append(out_var)
+            self.cnf.add_clause(clause)
+        for cube in _cubes.isop_cover(~table):
+            clause = legacy_cube_antecedent(cube, fanin_vars)
+            clause.append(-out_var)
+            self.cnf.add_clause(clause)
+
     saved = (
         _tt.TruthTable.cofactor,
         _tt.TruthTable.depends_on,
@@ -305,6 +399,9 @@ def seed_baseline():
         SimGenGenerator._pick_candidate,
         DecisionEngine.candidate_rows,
         DecisionEngine.mffc_rank,
+        _cubes.isop,
+        _tseitin.TseitinEncoder.encode_cone,
+        _tseitin.TseitinEncoder._encode_gate,
     )
     _tt.TruthTable.cofactor = legacy_cofactor
     _tt.TruthTable.depends_on = legacy_depends_on
@@ -314,6 +411,9 @@ def seed_baseline():
     SimGenGenerator._pick_candidate = legacy_pick_candidate
     DecisionEngine.candidate_rows = legacy_candidate_rows
     DecisionEngine.mffc_rank = legacy_mffc_rank
+    _cubes.isop = legacy_isop
+    _tseitin.TseitinEncoder.encode_cone = legacy_encode_cone
+    _tseitin.TseitinEncoder._encode_gate = legacy_encode_gate
     try:
         yield
     finally:
@@ -326,6 +426,9 @@ def seed_baseline():
             SimGenGenerator._pick_candidate,
             DecisionEngine.candidate_rows,
             DecisionEngine.mffc_rank,
+            _cubes.isop,
+            _tseitin.TseitinEncoder.encode_cone,
+            _tseitin.TseitinEncoder._encode_gate,
         ) = saved
 
 
@@ -386,6 +489,7 @@ def _run_sweep(
     seed: int,
     jobs: int = 1,
     simgen_backend: str = "compiled",
+    sat_backend: str = "compiled",
     repeats: int = 1,
 ) -> SweepTrace:
     """Run the sweep ``repeats`` times cold and keep the fastest run.
@@ -396,7 +500,7 @@ def _run_sweep(
     suppresses scheduler noise (this matters on small single-core
     measurement hosts, where a single draw can be off by 50%).
     """
-    best: Optional[tuple[float, "SweepResult"]] = None
+    best = None
     for _ in range(max(1, repeats)):
         clear_plan_caches()
         generator = (
@@ -406,14 +510,19 @@ def _run_sweep(
                 strategy, network, seed=seed, simgen_backend=simgen_backend
             )
         )
-        config = SweepConfig(seed=seed, engine=engine, jobs=jobs)
+        config = SweepConfig(
+            seed=seed, engine=engine, jobs=jobs, sat_backend=sat_backend
+        )
         sweep = SweepEngine(network, generator, config)
         start = time.perf_counter()
         result = sweep.run()
         seconds = time.perf_counter() - start
+        solver_s = sweep.registry.as_dict().get(
+            "sat.solver.solve_seconds.total_s", 0.0
+        )
         if best is None or seconds < best[0]:
-            best = (seconds, result)
-    seconds, result = best
+            best = (seconds, result, solver_s)
+    seconds, result, solver_s = best
     metrics = result.metrics
     return SweepTrace(
         cost_history=list(metrics.cost_history),
@@ -430,7 +539,12 @@ def _run_sweep(
         attribution={
             "sim_s": round(metrics.sim_time, 4),
             "simgen_s": round(metrics.simgen_time, 4),
-            "sat_solver_s": round(metrics.sat_time, 4),
+            # Seconds inside CdclSolver.solve / the arena core — the
+            # window the SAT-backend seam actually owns.
+            "sat_solver_s": round(solver_s, 4),
+            # The full checker window: cone encoding + clause shipping +
+            # solving (what ``metrics.sat_time`` has always measured).
+            "sat_check_s": round(metrics.sat_time, 4),
             "sat_phase_s": round(metrics.sat_phase_time, 4),
             "worker_sat_s": round(metrics.worker_sat_time, 4),
             "degraded_pairs": metrics.degraded_pairs,
@@ -538,6 +652,107 @@ def _measure_simgen_kernel(
         "forced_assignments": forced,
         "reference_implications_per_sec": round(reference_rate),
         "compiled_implications_per_sec": round(compiled_rate),
+        "speedup": round(compiled_rate / reference_rate, 2)
+        if reference_rate
+        else None,
+    }
+
+
+def _sat_microbench_instances(seed: int) -> list[list[list[int]]]:
+    """Deterministic CNF instances for the solver-core microbench.
+
+    Random 3-SAT near the phase transition (clause/var ratio ~4.26) plus a
+    pigeonhole instance: the former dominates in propagations per conflict
+    (the watch-list walking the arena layout optimizes), the latter is a
+    deep-UNSAT learnt-clause workload that exercises reduce/GC.
+    """
+    rng = random.Random(seed)
+    instances: list[list[list[int]]] = []
+    for num_vars in (120, 140, 160):
+        clauses = []
+        for _ in range(int(num_vars * 4.26)):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append(
+                [v if rng.random() < 0.5 else -v for v in variables]
+            )
+        instances.append(clauses)
+    # php(7, 6): pigeon p in hole h is var p * holes + h + 1.
+    pigeons, holes = 7, 6
+    php = [
+        [p * holes + h + 1 for h in range(holes)] for p in range(pigeons)
+    ]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                php.append([-(p1 * holes + h + 1), -(p2 * holes + h + 1)])
+    instances.append(php)
+    return instances
+
+
+def _measure_sat_propagations(seed: int, repeats: int = 3) -> dict:
+    """CDCL throughput of both solver backends, in propagations/sec.
+
+    Work is counted in *unit propagations* — the unit both backends
+    perform identically (the arena core replays the reference solver's
+    trajectory bit-for-bit).  The identity is asserted per instance over
+    the full counter set before any rate is reported; a faster solver
+    that does different work would be measuring the wrong thing.
+    """
+    instances = _sat_microbench_instances(seed)
+    totals = {"reference": 0.0, "compiled": 0.0}
+    work: dict[str, list[tuple]] = {"reference": [], "compiled": []}
+    propagations = 0
+    conflicts = 0
+    for backend in ("reference", "compiled"):
+        factory = solver_class(backend)
+        best = None
+        for _ in range(max(1, repeats)):
+            counters = []
+            start = time.perf_counter()
+            for clauses in instances:
+                solver = factory()
+                for clause in clauses:
+                    solver.add_clause(clause)
+                solver.solve()
+                stats = solver.stats
+                counters.append(
+                    tuple(
+                        stats.get(key, 0)
+                        for key in (
+                            "propagations",
+                            "conflicts",
+                            "decisions",
+                            "restarts",
+                            "learnts_deleted",
+                        )
+                    )
+                )
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, counters)
+        totals[backend] = best[0]
+        work[backend] = best[1]
+    if work["reference"] != work["compiled"]:
+        raise ReproError(
+            "compiled SAT backend diverged from the reference solver on "
+            f"the microbench ({work['compiled']} vs {work['reference']})"
+        )
+    propagations = sum(row[0] for row in work["reference"])
+    conflicts = sum(row[1] for row in work["reference"])
+    reference_rate = (
+        propagations / totals["reference"] if totals["reference"] else 0.0
+    )
+    compiled_rate = (
+        propagations / totals["compiled"] if totals["compiled"] else 0.0
+    )
+    return {
+        "instances": len(instances),
+        "repeats": repeats,
+        "propagations": propagations,
+        "conflicts": conflicts,
+        "compiled_core": SAT_CORE,
+        "reference_propagations_per_sec": round(reference_rate),
+        "compiled_propagations_per_sec": round(compiled_rate),
         "speedup": round(compiled_rate / reference_rate, 2)
         if reference_rate
         else None,
@@ -704,15 +919,18 @@ def run_perf_bench(
         with seed_baseline():
             seed_trace = _run_sweep(
                 network, strategy, "reference", seed,
-                simgen_backend="reference", repeats=repeats,
+                simgen_backend="reference", sat_backend="reference",
+                repeats=repeats,
             )
         reference = _run_sweep(
             network, strategy, "reference", seed,
-            simgen_backend="reference", repeats=repeats,
+            simgen_backend="reference", sat_backend="reference",
+            repeats=repeats,
         )
         compiled = _run_sweep(
             network, strategy, "compiled", seed,
-            simgen_backend="compiled", repeats=repeats,
+            simgen_backend="compiled", sat_backend="compiled",
+            repeats=repeats,
         )
         for label, trace in (("reference", reference), ("compiled", compiled)):
             if not seed_trace.same_results(trace):
@@ -742,6 +960,16 @@ def run_perf_bench(
             else None,
             "identical": True,
             "attribution": compiled.attribution,
+            "reference_attribution": reference.attribution,
+            # Solver-phase ratio of the backend seam specifically (total
+            # seconds inside CdclSolver.solve vs the arena core).
+            "sat_solver_speedup": round(
+                reference.attribution["sat_solver_s"]
+                / compiled.attribution["sat_solver_s"],
+                2,
+            )
+            if compiled.attribution["sat_solver_s"]
+            else None,
         }
         rows.append(row)
         if verbose:
@@ -754,6 +982,7 @@ def run_perf_bench(
 
     node_evals = _measure_node_evals(list(networks.values()))
     simgen_kernel = _measure_simgen_kernel(list(networks.values()))
+    sat_core = _measure_sat_propagations(seed)
     worker_scaling = _measure_worker_scaling(networks, seed, quick, verbose)
     total_seed = sum(r["seed_s"] for r in rows)
     total_reference = sum(r["reference_s"] for r in rows)
@@ -787,6 +1016,7 @@ def run_perf_bench(
         "repeats": repeats,
         "node_evals_per_sec": node_evals,
         "simgen_implications_per_sec": simgen_kernel,
+        "sat_propagations_per_sec": sat_core,
         "workloads": rows,
         "worker_scaling": worker_scaling,
         "summary": summary,
@@ -800,7 +1030,12 @@ def run_perf_bench(
             f"reference {simgen_kernel['reference_implications_per_sec']:,} "
             f"-> compiled "
             f"{simgen_kernel['compiled_implications_per_sec']:,} "
-            f"({simgen_kernel['speedup']}x); end-to-end sweep "
+            f"({simgen_kernel['speedup']}x); sat propagations/sec: "
+            f"reference {sat_core['reference_propagations_per_sec']:,} "
+            f"-> compiled "
+            f"{sat_core['compiled_propagations_per_sec']:,} "
+            f"({sat_core['speedup']}x, core={sat_core['compiled_core']}); "
+            f"end-to-end sweep "
             f"{summary['end_to_end_speedup_vs_seed']}x vs seed, "
             f"{summary['end_to_end_speedup_vs_reference']}x vs reference"
         )

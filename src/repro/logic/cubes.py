@@ -180,18 +180,21 @@ _ISOP_MASKS = tuple(
 
 def _isop_bits(
     num_vars: int, lower: int, upper: int, full: int, vmasks: tuple[int, ...]
-) -> tuple[list[Cube], int]:
+) -> tuple[list[tuple[int, int]], int]:
     """Integer-only core of :func:`_isop`.
 
-    ``lower``/``upper`` are minterm masks; returns the cube list and the
-    minterm mask of its characteristic function.  The recursion mirrors
-    the classic construction exactly (same variable order, same cube
-    order) so covers are bit-for-bit reproducible.
+    ``lower``/``upper`` are minterm masks; returns the cubes as packed
+    ``(mask, values)`` integer pairs plus the minterm mask of their
+    characteristic function.  Carrying plain int pairs through the
+    recursion (the :class:`Cube` objects are built once at the API
+    boundary) keeps the hot cold-start path free of dataclass churn.  The
+    recursion mirrors the classic construction exactly (same variable
+    order, same cube order) so covers are bit-for-bit reproducible.
     """
     if lower == 0:
         return [], 0
     if upper == full:
-        return [Cube.full_dc(num_vars)], full
+        return [(0, 0)], full
 
     # Pick the highest variable either bound actually depends on.
     var = -1
@@ -224,9 +227,11 @@ def _isop_bits(
         num_vars, (l0 & ~f0) | (l1 & ~f1), u0 & u1, full, vmasks
     )
 
+    # The sub-recursions never bind ``var``, so binding it here is plain
+    # bit arithmetic (the 0-branch leaves values untouched).
     cubes = (
-        [c.with_literal(var, 0) for c in cubes0]
-        + [c.with_literal(var, 1) for c in cubes1]
+        [(m | blk, v) for m, v in cubes0]
+        + [(m | blk, v | blk) for m, v in cubes1]
         + cubes2
     )
     func_bits = (lo & f0) | (vm & f1) | f2
@@ -240,7 +245,8 @@ def _isop(lower: TruthTable, upper: TruthTable) -> tuple[list[Cube], TruthTable]
     """
     num_vars = lower.num_vars
     full, vmasks = _ISOP_MASKS[num_vars]
-    cubes, func_bits = _isop_bits(num_vars, lower.bits, upper.bits, full, vmasks)
+    pairs, func_bits = _isop_bits(num_vars, lower.bits, upper.bits, full, vmasks)
+    cubes = [Cube(num_vars, m, v) for m, v in pairs]
     return cubes, TruthTable(num_vars, func_bits)
 
 
@@ -248,10 +254,10 @@ def isop(table: TruthTable) -> list[Cube]:
     """An irredundant SOP cover of ``table``'s onset."""
     num_vars = table.num_vars
     full, vmasks = _ISOP_MASKS[num_vars]
-    cubes, func_bits = _isop_bits(num_vars, table.bits, table.bits, full, vmasks)
+    pairs, func_bits = _isop_bits(num_vars, table.bits, table.bits, full, vmasks)
     if func_bits != table.bits:  # pragma: no cover - algorithmic safety net
         raise LogicError("ISOP result does not equal the input function")
-    return cubes
+    return [Cube(num_vars, m, v) for m, v in pairs]
 
 
 @lru_cache(maxsize=16384)

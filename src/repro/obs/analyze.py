@@ -173,6 +173,26 @@ def render(summary: TraceSummary, top: int = 5) -> str:
             f"SAT verdicts    : {counts}  conflicts={conflicts}"
             + (f"  degraded={degraded}" if degraded else "")
         )
+    solver = {
+        key[len("sat.solver."):]: value
+        for key, value in summary.counters.items()
+        if key.startswith("sat.solver.") and isinstance(value, int)
+    }
+    if solver:
+        parts = []
+        for key in ("propagations", "conflicts", "decisions", "restarts"):
+            if key in solver:
+                parts.append(f"{key}={solver[key]}")
+        lines.append(f"solver core     : {'  '.join(parts)}")
+        if "arena_bytes" in solver:
+            gcs = solver.get("arena_gcs", 0)
+            reclaimed = solver.get("arena_words_reclaimed", 0)
+            compacted = solver.get("watchers_compacted", 0)
+            lines.append(
+                f"clause arena    : {solver['arena_bytes']} bytes  "
+                f"gcs={gcs}  words_reclaimed={reclaimed}  "
+                f"watchers_compacted={compacted}"
+            )
     if summary.waves:
         lines.append("waves:")
         for index in sorted(summary.waves):

@@ -70,6 +70,9 @@ class PairVerdict:
     conflicts: int
     #: Solver wall-clock seconds inside the worker.
     sat_time: float
+    #: Unit propagations the query consumed (folded into the parent's
+    #: ``sat.solver.propagations`` counter).
+    propagations: int = 0
     #: True when no worker answer exists (worker death or budget expiry);
     #: the outcome is then UNKNOWN — degraded, never fabricated.
     degraded: bool = False
@@ -79,6 +82,7 @@ def _worker_main(
     network: Network,
     conflict_limit: Optional[int],
     incremental: bool,
+    sat_backend: str,
     task_queue,
     result_queue,
     chaos_kill_pair: Optional[tuple[int, int]],
@@ -110,9 +114,11 @@ def _worker_main(
                 network,
                 conflict_limit=conflict_limit,
                 incremental=incremental,
+                sat_backend=sat_backend,
             )
             checkers[shard] = checker
         conflicts_before = checker.stats.conflicts
+        props_before = checker.stats.propagations
         time_before = checker.stats.sat_time
         outcome, vector = checker.check(
             rep, member, complemented, conflict_limit=limit
@@ -125,6 +131,7 @@ def _worker_main(
                 None if vector is None else dict(vector.values),
                 checker.stats.conflicts - conflicts_before,
                 checker.stats.sat_time - time_before,
+                checker.stats.propagations - props_before,
             )
         )
 
@@ -147,6 +154,7 @@ class CheckerPool:
         shards: int = DEFAULT_SHARDS,
         conflict_limit: Optional[int] = 20000,
         incremental: bool = True,
+        sat_backend: str = "compiled",
         chaos_kill_pair: Optional[tuple[int, int]] = None,
         tracer=None,
     ):
@@ -159,6 +167,7 @@ class CheckerPool:
         self._network = network
         self._conflict_limit = conflict_limit
         self._incremental = incremental
+        self._sat_backend = sat_backend
         self._chaos_kill_pair = (
             None if chaos_kill_pair is None else tuple(chaos_kill_pair)
         )
@@ -189,6 +198,7 @@ class CheckerPool:
                 self._network,
                 self._conflict_limit,
                 self._incremental,
+                self._sat_backend,
                 self._task_queues[index],
                 self._result_queue,
                 self._chaos_kill_pair,
@@ -267,7 +277,7 @@ class CheckerPool:
                     if task_id in outstanding:
                         outstanding.discard(task_id)
                 continue
-            _, task_id, outcome, values, conflicts, sat_time = message
+            _, task_id, outcome, values, conflicts, sat_time, props = message
             if task_id not in outstanding:
                 continue  # straggler from an abandoned earlier call
             outstanding.discard(task_id)
@@ -276,6 +286,7 @@ class CheckerPool:
                 None if values is None else InputVector(dict(values)),
                 conflicts,
                 sat_time,
+                propagations=props,
             )
         for offset in range(count):
             if verdicts[offset] is None:

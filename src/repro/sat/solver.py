@@ -61,7 +61,12 @@ class CdclSolver:
     def __init__(self) -> None:
         self._num_vars = 0
         self._clauses: list[Optional[list[int]]] = []
-        self._watches: dict[int, list[int]] = {}
+        #: literal -> list of ``(clause index, blocker literal)`` watchers.
+        #: The blocker is a cached other literal of the clause; while it is
+        #: true the clause is satisfied and the visit skips the clause
+        #: entirely (MiniSat's blocker discipline — the compiled backend
+        #: implements the identical rule, which keeps the two bit-identical).
+        self._watches: dict[int, list[tuple[int, int]]] = {}
         #: Live learnt clauses: clause index -> LBD at learn time.
         self._learnts: dict[int, int] = {}
         self._learnt_cap = self.LEARNT_CAP_INIT
@@ -86,6 +91,7 @@ class CdclSolver:
             "reductions": 0,
             "solve_calls": 0,
             "solve_seconds": 0.0,
+            "watchers_compacted": 0,
         }
 
     # ------------------------------------------------------------------
@@ -158,8 +164,8 @@ class CdclSolver:
     def _attach_clause(self, clause: list[int], lbd: Optional[int] = None) -> int:
         index = len(self._clauses)
         self._clauses.append(clause)
-        self._watches.setdefault(clause[0], []).append(index)
-        self._watches.setdefault(clause[1], []).append(index)
+        self._watches.setdefault(clause[0], []).append((index, clause[1]))
+        self._watches.setdefault(clause[1], []).append((index, clause[0]))
         if lbd is not None:
             self._learnts[index] = lbd
         return index
@@ -170,7 +176,10 @@ class CdclSolver:
         Ranking is (LBD desc, length desc, index desc) — fully deterministic.
         Glue clauses (LBD <= 2) and clauses locked as a reason of a current
         trail assignment are never removed.  Deleted slots become ``None``
-        tombstones that :meth:`_propagate` drops from watch lists lazily.
+        tombstones, and every watch list is compacted eagerly right here:
+        dropping tombstoned entries only when their literal is next
+        falsified (the old lazy rule) let watch lists on rarely-assigned
+        literals grow without bound across escalation rungs.
         """
         locked = {self._reason[_var(ilit)] for ilit in self._trail}
         removable = sorted(
@@ -185,12 +194,32 @@ class CdclSolver:
                 -ci,
             ),
         )
-        for ci in removable[: len(removable) // 2]:
+        deleted = removable[: len(removable) // 2]
+        for ci in deleted:
             self._clauses[ci] = None
             del self._learnts[ci]
-            self.stats["learnts_deleted"] += 1
+        self.stats["learnts_deleted"] += len(deleted)
         self.stats["reductions"] += 1
         self._learnt_cap = int(self._learnt_cap * self.LEARNT_CAP_GROWTH)
+        if deleted:
+            self._compact_watches()
+
+    def _compact_watches(self) -> None:
+        """Drop watch entries of deleted clauses from every watch list.
+
+        Order-preserving, so the surviving entries are visited in the same
+        order as before — the propagation trajectory is unchanged.
+        """
+        clauses = self._clauses
+        dropped = 0
+        for lit, watch_list in self._watches.items():
+            kept = [
+                entry for entry in watch_list if clauses[entry[0]] is not None
+            ]
+            if len(kept) != len(watch_list):
+                dropped += len(watch_list) - len(kept)
+                self._watches[lit] = kept
+        self.stats["watchers_compacted"] += dropped
 
     # ------------------------------------------------------------------
     # Assignment machinery
@@ -225,12 +254,17 @@ class CdclSolver:
             watch_list = self._watches.get(false_lit)
             if not watch_list:
                 continue
-            new_list: list[int] = []
+            new_list: list[tuple[int, int]] = []
             conflict = -1
             i = 0
             while i < len(watch_list):
-                ci = watch_list[i]
+                ci, blocker = watch_list[i]
                 i += 1
+                # A true blocker means the clause is satisfied: skip it
+                # without touching the clause (the entry keeps its blocker).
+                if self._value(blocker) == 1:
+                    new_list.append((ci, blocker))
+                    continue
                 clause = self._clauses[ci]
                 if clause is None:
                     continue  # deleted learnt: drop from this watch list
@@ -238,20 +272,22 @@ class CdclSolver:
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) == 1:
-                    new_list.append(ci)
+                if first != blocker and self._value(first) == 1:
+                    new_list.append((ci, first))
                     continue
                 # Look for a replacement watch.
                 moved = False
                 for k in range(2, len(clause)):
                     if self._value(clause[k]) != 0:
                         clause[1], clause[k] = clause[k], clause[1]
-                        self._watches.setdefault(clause[1], []).append(ci)
+                        self._watches.setdefault(clause[1], []).append(
+                            (ci, first)
+                        )
                         moved = True
                         break
                 if moved:
                     continue
-                new_list.append(ci)
+                new_list.append((ci, first))
                 if not self._enqueue(first, ci):
                     conflict = ci
                     new_list.extend(watch_list[i:])

@@ -12,14 +12,40 @@ counterexample input vector; UNSAT proves them equivalent.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 from repro.errors import SatError
 from repro.logic.cubes import isop_cover
 from repro.network.network import Network
-from repro.network.traversal import cone_topological_order
 from repro.sat.cnf import Cnf
 from repro.simulation.patterns import InputVector
+
+
+@lru_cache(maxsize=16384)
+def gate_clause_templates(table) -> tuple[tuple[tuple[tuple[int, int], ...], int], ...]:
+    """Per-table clause templates: one entry per onset/offset ISOP cube.
+
+    Each entry is ``(pairs, sign)``: ``pairs`` lists the bound inputs as
+    ``(fanin index, literal value)`` in ascending index order, and ``sign``
+    is 1 when the clause implies the output true (onset cube) and 0 when it
+    implies it false (offset cube).  LUT networks reuse few distinct
+    functions, so caching the compiled template turns per-gate encoding
+    into a literal-substitution loop (no cube objects, no per-literal
+    method calls on the hot cone-encoding path).
+    """
+    templates = []
+    for sign, cover in ((1, isop_cover(table)), (0, isop_cover(~table))):
+        for cube in cover:
+            mask = cube.mask
+            values = cube.values
+            pairs = tuple(
+                (i, (values >> i) & 1)
+                for i in range(table.num_vars)
+                if (mask >> i) & 1
+            )
+            templates.append((pairs, sign))
+    return tuple(templates)
 
 
 class TseitinEncoder:
@@ -29,47 +55,79 @@ class TseitinEncoder:
         self.network = network
         self.cnf = Cnf()
         self._node_var: dict[int, int] = {}
+        #: node uid -> position in the network's topological order, built
+        #: lazily on the first encode (the network is immutable while an
+        #: encoder serves queries).
+        self._topo_index: Optional[dict[int, int]] = None
 
     def var_of(self, uid: int) -> Optional[int]:
         """The CNF variable of a node, if already encoded."""
         return self._node_var.get(uid)
 
     def encode_cone(self, root: int) -> int:
-        """Encode the fanin cone of ``root``; returns the root's variable."""
-        for uid in cone_topological_order(self.network, [root]):
-            if uid in self._node_var:
+        """Encode the fanin cone of ``root``; returns the root's variable.
+
+        Incremental: the cone walk prunes at already-encoded nodes (an
+        encoded node's cone is always fully encoded), so a query touching
+        mostly-known logic costs only its new frontier — not a fresh
+        whole-network traversal.  New nodes are processed in global
+        topological order, which keeps variable numbering and clause order
+        identical to a from-scratch encoding of the same query sequence.
+        """
+        node_var = self._node_var
+        var = node_var.get(root)
+        if var is not None:
+            return var
+        network = self.network
+        if self._topo_index is None:
+            self._topo_index = {
+                uid: i for i, uid in enumerate(network.topological_order())
+            }
+        fresh: list[int] = []
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            uid = stack.pop()
+            if uid in seen or uid in node_var:
                 continue
-            node = self.network.node(uid)
-            var = self.cnf.new_var()
-            self._node_var[uid] = var
+            seen.add(uid)
+            fresh.append(uid)
+            stack.extend(network.node(uid).fanins)
+        fresh.sort(key=self._topo_index.__getitem__)
+        cnf = self.cnf
+        clauses = cnf.clauses
+        for uid in fresh:
+            node = network.node(uid)
+            var = cnf.new_var()
+            node_var[uid] = var
             if node.is_pi:
                 continue
             if node.is_const:
-                self.cnf.add_clause([var if node.table.bits else -var])
+                cnf.add_clause([var if node.table.bits else -var])
                 continue
-            fanin_vars = [self._node_var[f] for f in node.fanins]
-            self._encode_gate(var, node.table, fanin_vars)
-        return self._node_var[root]
+            fanin_vars = [node_var[f] for f in node.fanins]
+            # Inline gate encoding: substitute this gate's fanin variables
+            # into the cached per-table clause templates.  Appending to the
+            # clause list directly is safe because every literal's variable
+            # was allocated through ``cnf.new_var()`` above.
+            for pairs, sign in gate_clause_templates(node.table):
+                clause = [
+                    (-fanin_vars[i] if lit else fanin_vars[i])
+                    for i, lit in pairs
+                ]
+                clause.append(var if sign else -var)
+                clauses.append(tuple(clause))
+        return node_var[root]
 
     def _encode_gate(self, out_var: int, table, fanin_vars: list[int]) -> None:
-        for cube in isop_cover(table):
-            clause = self._cube_antecedent(cube, fanin_vars)
-            clause.append(out_var)
-            self.cnf.add_clause(clause)
-        for cube in isop_cover(~table):
-            clause = self._cube_antecedent(cube, fanin_vars)
-            clause.append(-out_var)
-            self.cnf.add_clause(clause)
-
-    @staticmethod
-    def _cube_antecedent(cube, fanin_vars: list[int]) -> list[int]:
-        clause: list[int] = []
-        for i, var in enumerate(fanin_vars):
-            lit = cube.literal(i)
-            if lit is None:
-                continue
-            clause.append(-var if lit else var)
-        return clause
+        """Encode one gate (template substitution; kept for direct use)."""
+        clauses = self.cnf.clauses
+        for pairs, sign in gate_clause_templates(table):
+            clause = [
+                (-fanin_vars[i] if lit else fanin_vars[i]) for i, lit in pairs
+            ]
+            clause.append(out_var if sign else -out_var)
+            clauses.append(tuple(clause))
 
     def model_to_vector(self, model: dict[int, bool]) -> InputVector:
         """Extract PI values from a SAT model (encoded PIs only)."""

@@ -154,6 +154,7 @@ def _check_equivalence_traced(
             budget=budget,
             solver_factory=config.solver_factory,
             max_retries=config.solver_retries,
+            sat_backend=config.sat_backend,
         )
 
     result = CecResult(equivalent=True, metrics=sweep.metrics)
@@ -242,6 +243,7 @@ def _check_equivalence_traced(
                     shards=config.sat_shards,
                     conflict_limit=config.sat_conflict_limit,
                     incremental=config.incremental_sat,
+                    sat_backend=config.sat_backend,
                     chaos_kill_pair=config.chaos_kill_pair,
                     tracer=tracer,
                 ) as pool:

@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from repro.errors import TransientSolverError
 from repro.network.network import Network
 from repro.runtime.budget import Budget
+from repro.sat.compiled import solver_class
 from repro.sat.solver import CdclSolver, SatResult
 from repro.sat.tseitin import TseitinEncoder, pair_miter
 from repro.simulation.patterns import InputVector
@@ -45,6 +46,9 @@ class CheckerStats:
     #: CDCL conflicts consumed across all queries (pool workers report the
     #: per-query delta back so the parent can charge the shared budget).
     conflicts: int = 0
+    #: Unit propagations consumed across all queries — the work unit the
+    #: compiled/reference backend identity is asserted on.
+    propagations: int = 0
     #: Transient solver faults recovered by a fresh-solver retry.
     retries: int = 0
 
@@ -60,13 +64,16 @@ class PairChecker:
         budget: Optional[Budget] = None,
         solver_factory: Optional[Callable[[], CdclSolver]] = None,
         max_retries: int = 2,
+        sat_backend: str = "compiled",
     ):
         self.network = network
         self.conflict_limit = conflict_limit
         self.incremental = incremental
         self.budget = budget
         self.max_retries = max_retries
-        self._solver_factory = solver_factory or CdclSolver
+        # An explicit factory (fault injection, cross-checking) wins; the
+        # backend name otherwise picks the compiled or reference solver.
+        self._solver_factory = solver_factory or solver_class(sat_backend)
         self.stats = CheckerStats()
         #: Solver counters accumulated across fresh-mode queries (the
         #: per-query solvers are otherwise discarded with their stats).
@@ -172,6 +179,7 @@ class PairChecker:
         solver.add_cnf(cnf)
         result = solver.solve(conflict_limit=limit, budget=self.budget)
         self.stats.conflicts += solver.stats.get("conflicts", 0)
+        self.stats.propagations += solver.stats.get("propagations", 0)
         for key, value in solver.stats.items():
             if isinstance(value, (int, float)):
                 self._fresh_stats[key] = self._fresh_stats.get(key, 0) + value
@@ -200,11 +208,15 @@ class PairChecker:
         else:
             self._solver.add_clause([-selector, var_a, var_b])
             self._solver.add_clause([-selector, -var_a, -var_b])
-        before = self._solver.stats.get("conflicts", 0)
+        before = self._solver.stats
+        before_conflicts = before.get("conflicts", 0)
+        before_props = before.get("propagations", 0)
         result = self._solver.solve(
             assumptions=[selector], conflict_limit=limit, budget=self.budget
         )
-        self.stats.conflicts += self._solver.stats.get("conflicts", 0) - before
+        after = self._solver.stats
+        self.stats.conflicts += after.get("conflicts", 0) - before_conflicts
+        self.stats.propagations += after.get("propagations", 0) - before_props
         vector = None
         if result is SatResult.SAT:
             vector = self._encoder.model_to_vector(self._solver.model())

@@ -30,6 +30,7 @@ from repro.network.network import Network
 from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.runtime.budget import Budget
 from repro.runtime.pool import DEFAULT_SHARDS, CheckerPool
+from repro.sat.compiled import SAT_BACKENDS
 from repro.sat.solver import SatResult
 from repro.simulation.compiled import CompiledSimulator
 from repro.simulation.patterns import InputVector, PatternBatch
@@ -74,6 +75,14 @@ class SweepConfig:
     #: see :mod:`repro.core.compiled`); ``None`` keeps it as constructed.
     #: Non-SimGen generators are unaffected.
     simgen_backend: Optional[str] = None
+    #: SAT solver backend for the equivalence queries: ``"compiled"`` runs
+    #: the arena-backed CDCL core (:mod:`repro.sat.compiled`; C via ctypes
+    #: when a compiler is available, pure-Python arena otherwise),
+    #: ``"reference"`` the original :class:`repro.sat.solver.CdclSolver`.
+    #: Both follow bit-identical solver trajectories (verdicts, models,
+    #: conflict counts, budget-expiry points).  An explicit
+    #: ``solver_factory`` overrides the backend choice.
+    sat_backend: str = "compiled"
     #: Max pending counterexamples per resimulation flush.  Pending
     #: vectors are always flushed before the classes are next consulted,
     #: so batching never changes results; wider batches form when several
@@ -256,6 +265,11 @@ class SweepEngine:
                 "(use 'compiled' or 'reference')"
             )
         self._compiled = self.config.engine == "compiled"
+        if self.config.sat_backend not in SAT_BACKENDS:
+            raise SweepError(
+                f"unknown sat_backend {self.config.sat_backend!r} "
+                f"(use one of {', '.join(repr(b) for b in SAT_BACKENDS)})"
+            )
         if self.config.jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {self.config.jobs}")
         if self.config.jobs > 1:
@@ -429,6 +443,7 @@ class SweepEngine:
             budget=budget,
             solver_factory=config.solver_factory,
             max_retries=config.solver_retries,
+            sat_backend=config.sat_backend,
         )
         ladder_on = (
             config.max_escalations > 0 and config.sat_conflict_limit is not None
@@ -638,6 +653,7 @@ class SweepEngine:
                 shards=config.sat_shards,
                 conflict_limit=config.sat_conflict_limit,
                 incremental=config.incremental_sat,
+                sat_backend=config.sat_backend,
                 chaos_kill_pair=config.chaos_kill_pair,
                 tracer=tracer,
             )
@@ -746,6 +762,15 @@ class SweepEngine:
         if verdict.degraded:
             metrics.degraded_pairs += 1
         self.registry.observe("sat.conflicts_per_call", verdict.conflicts)
+        # Pooled runs have no parent-side solver to export counters from,
+        # so the worker deltas are the registry's source of truth here.
+        self.registry.inc_many(
+            "sat.solver",
+            {
+                "conflicts": verdict.conflicts,
+                "propagations": verdict.propagations,
+            },
+        )
 
     def _run_escalations_parallel(
         self,

@@ -165,6 +165,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         budget=_run_budget(args),
         max_escalations=2 if args.escalate else 0,
         jobs=args.jobs,
+        sat_backend=args.sat_backend,
         tracer=tracer,
     )
     engine = SweepEngine(network, generator, config)
@@ -222,6 +223,7 @@ def _cmd_cec(args: argparse.Namespace) -> int:
                 budget=_run_budget(args),
                 max_escalations=2 if args.escalate else 0,
                 jobs=args.jobs,
+                sat_backend=args.sat_backend,
                 tracer=tracer,
             ),
         )
@@ -393,6 +395,11 @@ def main(argv: list[str] | None = None) -> int:
         default="compiled", dest="simgen_backend",
         help="guided-vector kernel (trajectories identical; compiled is faster)",
     )
+    p.add_argument(
+        "--sat-backend", choices=("compiled", "reference"),
+        default="compiled", dest="sat_backend",
+        help="CDCL solver core (trajectories identical; compiled is faster)",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -425,6 +432,11 @@ def main(argv: list[str] | None = None) -> int:
         "--simgen-backend", choices=("compiled", "reference"),
         default="compiled", dest="simgen_backend",
         help="guided-vector kernel (trajectories identical; compiled is faster)",
+    )
+    p.add_argument(
+        "--sat-backend", choices=("compiled", "reference"),
+        default="compiled", dest="sat_backend",
+        help="CDCL solver core (trajectories identical; compiled is faster)",
     )
     p.set_defaults(fn=_cmd_cec)
 
