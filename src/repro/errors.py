@@ -67,6 +67,15 @@ class SweepError(ReproError):
     """Inconsistent sweeping state."""
 
 
+class JournalError(ReproError):
+    """Unusable verdict journal (mid-file corruption, header mismatch,
+    or an existing journal opened without ``--resume``).
+
+    A *torn tail* — a partial final record from a crash mid-append — is
+    **not** an error: the loader truncates it and continues.
+    """
+
+
 class MappingError(ReproError):
     """LUT mapping failure (infeasible cut size, unmapped node, ...)."""
 

@@ -1040,9 +1040,9 @@ def run_perf_bench(
             f"{summary['end_to_end_speedup_vs_reference']}x vs reference"
         )
     if output:
-        Path(output).write_text(
-            json.dumps(report, indent=2) + "\n", encoding="utf-8"
-        )
+        from repro.runtime.atomicio import atomic_write_json
+
+        atomic_write_json(output, report)
         if verbose:
             print(f"wrote {output}")
     return report

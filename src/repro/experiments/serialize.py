@@ -8,7 +8,6 @@ re-parse the rendered text.
 
 from __future__ import annotations
 
-import json
 from typing import Any
 
 from repro.experiments.fig5 import Fig5Result
@@ -114,7 +113,12 @@ def to_dict(result: Any) -> dict[str, Any]:
 
 
 def dump_results(results: list[Any], path: str) -> None:
-    """Write a list of experiment results as one JSON document."""
+    """Write a list of experiment results as one JSON document.
+
+    The write is atomic (temp file + rename): a crash mid-dump leaves any
+    previous results file intact instead of a truncated document.
+    """
+    from repro.runtime.atomicio import atomic_write_json
+
     payload = [to_dict(result) for result in results]
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_json(path, payload)

@@ -193,6 +193,32 @@ def render(summary: TraceSummary, top: int = 5) -> str:
                 f"gcs={gcs}  words_reclaimed={reclaimed}  "
                 f"watchers_compacted={compacted}"
             )
+    journal = {
+        key[len("journal."):]: value
+        for key, value in summary.counters.items()
+        if key.startswith("journal.") and isinstance(value, int)
+    }
+    supervision = {
+        key[len("pool."):]: value
+        for key, value in summary.counters.items()
+        if key.startswith("pool.") and isinstance(value, int)
+    }
+    if journal or supervision:
+        parts = []
+        if journal:
+            parts.append(
+                f"journal appends={journal.get('appends', 0)} "
+                f"replayed={journal.get('replayed_verdicts', 0)} "
+                f"torn_tails={journal.get('torn_tail_truncations', 0)}"
+            )
+        if supervision:
+            parts.append(
+                f"pool respawns={supervision.get('respawns', 0)} "
+                f"retries={supervision.get('retries', 0)} "
+                f"redispatched={supervision.get('pairs_redispatched', 0)} "
+                f"hb_missed={supervision.get('heartbeats_missed', 0)}"
+            )
+        lines.append(f"durable session : {'  |  '.join(parts)}")
     if summary.waves:
         lines.append("waves:")
         for index in sorted(summary.waves):

@@ -35,6 +35,7 @@ no-op methods.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, IO, Optional, Union
@@ -214,9 +215,13 @@ class Tracer:
         return len(self._open)
 
     def close(self) -> None:
-        """Flush and (when the tracer owns the file) close the sink."""
+        """Flush (and fsync) the sink; close it when the tracer owns it."""
         if self._file is not None:
             self._file.flush()
+            try:
+                os.fsync(self._file.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass  # in-memory sinks (StringIO) have no file descriptor
             if self._owns_file:
                 self._file.close()
                 self._file = None

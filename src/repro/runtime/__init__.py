@@ -1,16 +1,27 @@
-"""Runtime governance: resource budgets and fault-injection harnesses.
+"""Runtime governance: budgets, fault harnesses, and durable sessions.
 
 This package is the robustness layer under every long-running flow: a
 :class:`Budget`/:class:`Deadline` pair that sweeping, CEC, and the
-experiment harnesses poll to stop on time, and fault wrappers
+experiment harnesses poll to stop on time, fault wrappers
 (:class:`FlakySolver`, :class:`FaultySimulator`) that chaos tests use to
-prove the engines degrade to UNKNOWN instead of to wrong answers.
+prove the engines degrade to UNKNOWN instead of to wrong answers, a
+supervised :class:`CheckerPool` that re-dispatches pairs lost to dead
+workers, and the :class:`VerdictJournal` write-ahead log that makes sweep
+sessions crash-safe and resumable.
 """
 
-from repro.errors import BudgetExpired
+from repro.errors import BudgetExpired, JournalError
+from repro.runtime.atomicio import atomic_write_json, atomic_write_text
 from repro.runtime.budget import Budget, Deadline
 from repro.runtime.faults import FaultSchedule, FaultySimulator, FlakySolver
+from repro.runtime.journal import (
+    ReplayRecord,
+    VerdictJournal,
+    config_fingerprint,
+    sweep_signature,
+)
 from repro.runtime.pool import CheckerPool, PairVerdict
+from repro.runtime.supervise import RetryPolicy, WorkerSupervisor
 
 __all__ = [
     "Budget",
@@ -20,5 +31,14 @@ __all__ = [
     "FaultSchedule",
     "FaultySimulator",
     "FlakySolver",
+    "JournalError",
     "PairVerdict",
+    "ReplayRecord",
+    "RetryPolicy",
+    "VerdictJournal",
+    "WorkerSupervisor",
+    "atomic_write_json",
+    "atomic_write_text",
+    "config_fingerprint",
+    "sweep_signature",
 ]

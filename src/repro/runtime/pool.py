@@ -25,17 +25,32 @@ any worker count**.  Two mechanisms guarantee it:
   merges them in that order and absorbs all counterexamples through one
   batched resimulation.
 
-Fault tolerance
----------------
+Fault tolerance and supervision
+-------------------------------
 
-A worker killed mid-query degrades exactly the queries it lost to
-``UNKNOWN`` (never a fabricated verdict): the parent respawns a
-replacement on the same task queue — queued-but-unread tasks survive in
-the queue and are served by the replacement — and sends a *fence* message;
-any task submitted before the fence that still has no answer when the
-fence returns was lost inside the dead worker.  Budget deadlines are
-polled by the parent while collecting; expiry abandons outstanding work
-as ``UNKNOWN``.
+A worker killed mid-query no longer forfeits its pairs.  The parent
+respawns a replacement on the same task queue — queued-but-unread tasks
+survive in the queue and are served by the replacement — and sends a
+*fence* message; any task submitted before the fence that still has no
+answer when the fence returns was lost inside the dead worker.  Lost
+pairs are **re-dispatched** to the respawned worker under a bounded
+:class:`~repro.runtime.supervise.RetryPolicy` (exponential backoff,
+jittered via the seeded RNG — the schedule is a pure function of the pair,
+never of wall clock), and only degrade to ``UNKNOWN`` once the retry
+budget is exhausted.  Degradation is still never a fabricated verdict.
+
+Re-dispatch preserves the determinism contract: verdicts are a pure
+function of the solver state the query meets, and a respawned worker's
+shard checkers replay the same canonical query sequence, so a retried
+pair's verdict is the one an undisturbed run would have produced whenever
+the queries are state-independent (fresh/query-pure mode, or a respawn
+that re-serves the shard's full sequence).
+
+Workers emit a heartbeat when they pick up a task; a busy worker silent
+past ``heartbeat_interval`` bumps a counter (``pool.heartbeats_missed``)
+for observability — process liveness stays authoritative.  Budget
+deadlines are polled by the parent while collecting; expiry abandons
+outstanding work as ``UNKNOWN``.
 """
 
 from __future__ import annotations
@@ -43,6 +58,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -50,6 +67,7 @@ from repro.errors import SweepError
 from repro.network.network import Network
 from repro.obs import NULL_TRACER
 from repro.runtime.budget import Budget
+from repro.runtime.supervise import RetryPolicy, WorkerSupervisor
 from repro.sat.solver import SatResult
 from repro.simulation.patterns import InputVector
 
@@ -73,9 +91,15 @@ class PairVerdict:
     #: Unit propagations the query consumed (folded into the parent's
     #: ``sat.solver.propagations`` counter).
     propagations: int = 0
-    #: True when no worker answer exists (worker death or budget expiry);
-    #: the outcome is then UNKNOWN — degraded, never fabricated.
+    #: True when no worker answer exists (worker death past the retry
+    #: budget, or budget expiry); the outcome is then UNKNOWN — degraded,
+    #: never fabricated.
     degraded: bool = False
+    #: Conflict limit actually applied to the query (the parent may have
+    #: tightened the nominal limit to the budget's remaining headroom);
+    #: verdict journals use this to tell a deterministic UNKNOWN-at-limit
+    #: from a budget-squeezed one.
+    limit: Optional[int] = None
 
 
 def _worker_main(
@@ -83,6 +107,7 @@ def _worker_main(
     conflict_limit: Optional[int],
     incremental: bool,
     sat_backend: str,
+    worker_index: int,
     task_queue,
     result_queue,
     chaos_kill_pair: Optional[tuple[int, int]],
@@ -90,8 +115,9 @@ def _worker_main(
     """Worker loop: route each task to its shard's checker and answer.
 
     ``chaos_kill_pair`` is a fault-injection seam (see
-    :mod:`repro.runtime.faults`): receiving that exact pair hard-kills the
-    process mid-query, which chaos tests use to prove degradation.
+    :mod:`repro.runtime.faults`): receiving that exact pair SIGKILLs the
+    process mid-query — the real failure mode supervision is built for —
+    which chaos tests use to prove re-dispatch and bounded degradation.
     """
     # Imported here so the module can be imported without the sweep package
     # (and so spawn-start workers resolve it in their own interpreter).
@@ -106,8 +132,13 @@ def _worker_main(
             result_queue.put(("fence", message[1]))
             continue
         _, task_id, shard, rep, member, complemented, limit = message
+        # Heartbeat on pickup: the parent learns the worker is alive and
+        # which query it committed to before any solving happens.
+        result_queue.put(("hb", worker_index, task_id))
         if chaos_kill_pair is not None and (rep, member) == chaos_kill_pair:
-            os._exit(1)
+            if hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            os._exit(1)  # pragma: no cover - non-POSIX fallback
         checker = checkers.get(shard)
         if checker is None:
             checker = PairChecker(
@@ -142,6 +173,18 @@ class CheckerPool:
     Each worker holds the incremental checkers of the shards routed to it
     over a read-only copy of the network (inherited copy-on-write under
     ``fork``, pickled under ``spawn``).
+
+    Args:
+        retry_policy: Bounded-retry/backoff policy for pairs lost inside a
+            dead worker (``None`` = default :class:`RetryPolicy`; pass
+            ``RetryPolicy(max_retries=0)`` for the legacy
+            degrade-on-first-loss behaviour).
+        heartbeat_interval: Seconds of silence from a *busy* worker before
+            ``pool.heartbeats_missed`` increments (observational only).
+        chaos_kill_limit: How many worker deaths the ``chaos_kill_pair``
+            seam may cause before respawned workers are disarmed (so a
+            retried pair can succeed).  ``None`` keeps every respawn armed
+            — the retry budget then exhausts and the pair degrades.
     """
 
     #: Seconds between liveness/deadline polls while collecting.
@@ -156,6 +199,9 @@ class CheckerPool:
         incremental: bool = True,
         sat_backend: str = "compiled",
         chaos_kill_pair: Optional[tuple[int, int]] = None,
+        chaos_kill_limit: Optional[int] = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        heartbeat_interval: float = 5.0,
         tracer=None,
     ):
         if jobs < 1:
@@ -171,10 +217,15 @@ class CheckerPool:
         self._chaos_kill_pair = (
             None if chaos_kill_pair is None else tuple(chaos_kill_pair)
         )
+        self._chaos_kill_limit = chaos_kill_limit
+        self._chaos_deaths = 0
         # Parent-side only (never shipped to workers; a Tracer holds an
         # open file).  ``pool.*`` records are jobs-dependent by nature and
         # excluded from the deterministic trace projection.
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._supervisor = WorkerSupervisor(
+            policy=retry_policy, heartbeat_interval=heartbeat_interval
+        )
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -192,6 +243,15 @@ class CheckerPool:
 
     # ------------------------------------------------------------------
     def _spawn(self, index: int) -> None:
+        chaos = self._chaos_kill_pair
+        if (
+            chaos is not None
+            and self._chaos_kill_limit is not None
+            and self._chaos_deaths >= self._chaos_kill_limit
+        ):
+            # The seam already killed its quota; respawns run disarmed so
+            # the re-dispatched pair can actually be solved.
+            chaos = None
         process = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -199,19 +259,27 @@ class CheckerPool:
                 self._conflict_limit,
                 self._incremental,
                 self._sat_backend,
+                index,
                 self._task_queues[index],
                 self._result_queue,
-                self._chaos_kill_pair,
+                chaos,
             ),
             daemon=True,
         )
         process.start()
         self._processes[index] = process
+        self._supervisor.on_spawn(index)
 
     def shard_of(self, rep: int, member: int) -> int:
         """Stable shard routing: a pure function of the pair (never of
         ``jobs``), so retries and escalations hit the same solver state."""
         return ((rep * 0x9E3779B1) ^ (member * 0x85EBCA6B)) % self.shards
+
+    @property
+    def supervision_stats(self) -> dict:
+        """``pool.*`` counters (heartbeats_missed / retries / respawns /
+        pairs_redispatched) for registry export."""
+        return dict(self._supervisor.stats)
 
     # ------------------------------------------------------------------
     def check_pairs(
@@ -223,8 +291,10 @@ class CheckerPool:
         """Check ``(rep, member, complemented)`` pairs concurrently.
 
         Verdicts come back **in dispatch order** regardless of completion
-        order.  Pairs whose answer never arrives — worker death, budget
-        deadline — are returned as degraded ``UNKNOWN``.
+        order.  Pairs lost to a dead worker are re-dispatched under the
+        retry policy; a pair whose answer never arrives — retry budget
+        exhausted, or the run's deadline — is returned as degraded
+        ``UNKNOWN``.
 
         Args:
             limits: Optional per-pair conflict-limit overrides (escalation
@@ -241,6 +311,9 @@ class CheckerPool:
         verdicts: list[Optional[PairVerdict]] = [None] * count
         position: dict[int, int] = {}
         owner: dict[int, int] = {}
+        message_of: dict[int, tuple] = {}
+        applied_limit: dict[int, Optional[int]] = {}
+        attempts: dict[int, int] = {}
         remaining = (
             budget.remaining_conflicts() if budget is not None else None
         )
@@ -256,37 +329,90 @@ class CheckerPool:
             shard = self.shard_of(rep, member)
             worker = shard % self.jobs
             owner[task_id] = worker
-            self._task_queues[worker].put(
-                ("check", task_id, shard, rep, member, complemented, limit)
+            applied_limit[task_id] = limit
+            attempts[task_id] = 0
+            message = (
+                "check", task_id, shard, rep, member, complemented, limit
             )
+            message_of[task_id] = message
+            self._task_queues[worker].put(message)
         pending_fences: dict[int, list[int]] = {}
         outstanding = set(position)
+        #: Lost tasks awaiting their backoff: (due monotonic time, task_id).
+        deferred: list[tuple[float, int]] = []
+        deferred_ids: set[int] = set()
         while outstanding:
             if budget is not None and budget.time_expired():
                 break  # outstanding work is abandoned, degraded to UNKNOWN
+            if deferred:
+                now = time.monotonic()
+                due = [t for d, t in deferred if d <= now]
+                if due:
+                    deferred = [(d, t) for d, t in deferred if t not in due]
+                    for task_id in due:
+                        if task_id not in outstanding:
+                            continue
+                        deferred_ids.discard(task_id)
+                        self._task_queues[owner[task_id]].put(
+                            message_of[task_id]
+                        )
             try:
                 message = self._result_queue.get(timeout=self.POLL_INTERVAL)
             except queue_mod.Empty:
-                self._reap_dead(owner, outstanding, pending_fences)
+                self._reap_dead(
+                    owner, outstanding, pending_fences, deferred_ids
+                )
+                self._supervisor.check_heartbeats(
+                    {
+                        owner[t]
+                        for t in outstanding
+                        if t not in deferred_ids
+                    }
+                )
                 continue
-            if message[0] == "fence":
+            kind = message[0]
+            if kind == "hb":
+                self._supervisor.heartbeat(message[1])
+                continue
+            if kind == "fence":
                 lost = pending_fences.pop(message[1], ())
                 for task_id in lost:
                     # Submitted before the fence, no answer by the time the
                     # replacement reached it: lost inside the dead worker.
-                    if task_id in outstanding:
+                    if task_id not in outstanding or task_id in deferred_ids:
+                        continue
+                    attempts[task_id] += 1
+                    check = message_of[task_id]
+                    delay = self._supervisor.should_retry(
+                        (check[3], check[4]), attempts[task_id]
+                    )
+                    if delay is None:
+                        # Retry budget exhausted: degraded below, never
+                        # fabricated.
                         outstanding.discard(task_id)
+                    else:
+                        deferred.append((time.monotonic() + delay, task_id))
+                        deferred_ids.add(task_id)
+                        if self._tracer.enabled:
+                            self._tracer.event(
+                                "pool.redispatch",
+                                rep=check[3],
+                                member=check[4],
+                                attempt=attempts[task_id],
+                            )
                 continue
             _, task_id, outcome, values, conflicts, sat_time, props = message
             if task_id not in outstanding:
                 continue  # straggler from an abandoned earlier call
             outstanding.discard(task_id)
+            deferred_ids.discard(task_id)
             verdicts[position[task_id]] = PairVerdict(
                 SatResult(outcome),
                 None if values is None else InputVector(dict(values)),
                 conflicts,
                 sat_time,
                 propagations=props,
+                limit=applied_limit[task_id],
             )
         for offset in range(count):
             if verdicts[offset] is None:
@@ -300,12 +426,20 @@ class CheckerPool:
         owner: dict[int, int],
         outstanding: set[int],
         pending_fences: dict[int, list[int]],
+        deferred_ids: set[int],
     ) -> None:
-        """Respawn dead workers; fence to find which tasks died with them."""
+        """Respawn dead workers; fence to find which tasks died with them.
+
+        Tasks already sitting in the backoff queue are excluded from the
+        fence candidates — they are not in flight, so the fence cannot
+        prove anything about them (and must not double-charge a retry).
+        """
         for index, process in enumerate(self._processes):
             if process.is_alive():
                 continue
             self.worker_failures += 1
+            if self._chaos_kill_pair is not None:
+                self._chaos_deaths += 1
             if self._tracer.enabled:
                 self._tracer.event("pool.respawn", worker=index)
             self._spawn(index)
@@ -315,6 +449,7 @@ class CheckerPool:
                 task_id
                 for task_id in outstanding
                 if owner.get(task_id) == index
+                and task_id not in deferred_ids
             ]
             self._task_queues[index].put(("fence", fence_id))
 

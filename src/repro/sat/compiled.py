@@ -52,6 +52,7 @@ import shutil
 import subprocess
 import tempfile
 import time
+import warnings
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import SatError
@@ -188,17 +189,60 @@ def _build_library() -> Optional[str]:
     return None
 
 
-def _load_satcore() -> Optional[ctypes.CDLL]:
-    if os.environ.get("REPRO_SATCORE", "").strip().lower() == "python":
-        return None
-    lib_path = _build_library()
-    if lib_path is None:
-        return None
+_FALLBACK_WARNED = False
+
+
+def _warn_fallback(reason: str) -> None:
+    """One-time heads-up that this process runs the pure-Python core.
+
+    Silence is reserved for the explicit ``REPRO_SATCORE=python`` opt-out;
+    an *involuntary* fallback (no compiler, corrupt cache) should be
+    visible exactly once, because it changes speed, never results.
+    """
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        f"compiled SAT core unavailable ({reason}); falling back to the "
+        "pure-Python arena solver (identical results, slower)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _try_load(lib_path: str) -> Optional[ctypes.CDLL]:
     try:
         lib = ctypes.CDLL(lib_path)
         _configure(lib)
     except (OSError, AttributeError):
         return None
+    return lib
+
+
+def _load_satcore() -> Optional[ctypes.CDLL]:
+    if os.environ.get("REPRO_SATCORE", "").strip().lower() == "python":
+        return None  # explicit opt-out: no warning
+    lib_path = _build_library()
+    if lib_path is None:
+        _warn_fallback("no usable C compiler or writable cache directory")
+        return None
+    lib = _try_load(lib_path)
+    if lib is None:
+        # A cached .so that no longer loads (truncated by a crashed
+        # builder, damaged on disk, or missing symbols from an old
+        # layout): discard it and rebuild from source exactly once.
+        try:
+            os.unlink(lib_path)
+        except OSError:
+            pass
+        rebuilt = _build_library()
+        lib = _try_load(rebuilt) if rebuilt is not None else None
+        if lib is None:
+            _warn_fallback(
+                f"cached SAT core {lib_path!r} was corrupt and the "
+                "rebuild attempt did not produce a loadable library"
+            )
     return lib
 
 

@@ -24,6 +24,7 @@ from repro.errors import SweepError
 from repro.network.network import Network
 from repro.obs import NULL_TRACER
 from repro.runtime.pool import CheckerPool
+from repro.runtime.supervise import RetryPolicy
 from repro.sat.solver import SatResult
 from repro.simulation.patterns import InputVector, PatternBatch
 from repro.sweep.checker import PairChecker
@@ -150,7 +151,7 @@ def _check_equivalence_traced(
         checker = PairChecker(
             union,
             conflict_limit=config.sat_conflict_limit,
-            incremental=config.incremental_sat,
+            incremental=engine._incremental,
             budget=budget,
             solver_factory=config.solver_factory,
             max_retries=config.solver_retries,
@@ -213,8 +214,10 @@ def _check_equivalence_traced(
                 # The checker clock owns the window; charge_attempt keeps
                 # ``sat_time == sum(sat_time_per_attempt)`` through the
                 # fallback path too (the sweep's own accounting
-                # invariant).
-                outcome, vector = engine._checked_attempt(
+                # invariant).  Fallback miters ride the verdict journal
+                # like any sweep pair (keys are structural, so the PO
+                # cones replay on resume).
+                outcome, vector = engine._journaled_attempt(
                     checker, sweep.metrics, node_a, node_b, False, rung=0
                 )
                 sweep.metrics.sat_calls += 1
@@ -237,21 +240,49 @@ def _check_equivalence_traced(
             # structurally impossible.
             fallback_start = time.perf_counter()
             with tracer.span("phase", phase="cec.sat"):
-                with CheckerPool(
-                    union,
-                    config.jobs,
-                    shards=config.sat_shards,
-                    conflict_limit=config.sat_conflict_limit,
-                    incremental=config.incremental_sat,
-                    sat_backend=config.sat_backend,
-                    chaos_kill_pair=config.chaos_kill_pair,
-                    tracer=tracer,
-                ) as pool:
-                    verdicts = pool.check_pairs(
-                        [(a, b, False) for _, a, b in pending], budget=budget
-                    )
-                    sweep.metrics.worker_failures += pool.worker_failures
-                for (name, node_a, node_b), verdict in zip(pending, verdicts):
+                pending_pairs = [(a, b, False) for _, a, b in pending]
+                replayed, dispatch, _ = engine._journal_partition(
+                    pending_pairs
+                )
+                pooled = []
+                if dispatch:
+                    with CheckerPool(
+                        union,
+                        config.jobs,
+                        shards=config.sat_shards,
+                        conflict_limit=config.sat_conflict_limit,
+                        incremental=engine._incremental,
+                        sat_backend=config.sat_backend,
+                        chaos_kill_pair=config.chaos_kill_pair,
+                        chaos_kill_limit=config.chaos_kill_limit,
+                        retry_policy=RetryPolicy(
+                            max_retries=config.pair_retry_limit,
+                            seed=config.seed,
+                        ),
+                        tracer=tracer,
+                    ) as pool:
+                        pooled = pool.check_pairs(dispatch, budget=budget)
+                        sweep.metrics.worker_failures += pool.worker_failures
+                        engine._fold_session_stats(pool=pool)
+                pooled_iter = iter(pooled)
+                verdicts = [
+                    replayed[offset]
+                    if offset in replayed
+                    else next(pooled_iter)
+                    for offset in range(len(pending))
+                ]
+                for offset, ((name, node_a, node_b), verdict) in enumerate(
+                    zip(pending, verdicts)
+                ):
+                    if offset not in replayed:
+                        engine._journal_pooled(
+                            node_a,
+                            node_b,
+                            False,
+                            verdict,
+                            rung=0,
+                            nominal=config.sat_conflict_limit,
+                        )
                     engine._merge_verdict_time(sweep.metrics, verdict, rung=0)
                     sweep.metrics.sat_calls += 1
                     fallback_calls += 1
@@ -297,6 +328,9 @@ def _check_equivalence_traced(
         sweep.metrics.solver_retries += checker.stats.retries
         engine.registry.inc_many("sat.solver", checker.solver_stats)
     result.conclusive = "unknown" not in result.outputs.values()
+    # Fallback-path journal activity (replays/appends since the sweep's own
+    # fold) lands in the registry before the counters dump.
+    engine._fold_session_stats()
     engine.registry.inc_many(
         "cec",
         {

@@ -29,7 +29,9 @@ from repro.errors import SweepError, TransientSimulationError
 from repro.network.network import Network
 from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.runtime.budget import Budget
-from repro.runtime.pool import DEFAULT_SHARDS, CheckerPool
+from repro.runtime.journal import config_fingerprint
+from repro.runtime.pool import DEFAULT_SHARDS, CheckerPool, PairVerdict
+from repro.runtime.supervise import RetryPolicy
 from repro.sat.compiled import SAT_BACKENDS
 from repro.sat.solver import SatResult
 from repro.simulation.compiled import CompiledSimulator
@@ -129,9 +131,25 @@ class SweepConfig:
     #: from ``jobs``, so the trajectory is worker-count-invariant).
     sat_shards: int = DEFAULT_SHARDS
     #: Fault-injection seam of the parallel path: a worker receiving this
-    #: exact ``(rep, member)`` pair hard-kills itself mid-query; chaos
-    #: tests use it to prove the pair degrades to UNKNOWN.
+    #: exact ``(rep, member)`` pair SIGKILLs itself mid-query; chaos tests
+    #: use it to prove the pair is re-dispatched (and, past the retry
+    #: budget, degrades to UNKNOWN).
     chaos_kill_pair: Optional[tuple[int, int]] = None
+    #: Worker deaths the chaos seam may cause before respawns are disarmed
+    #: (``None`` = every respawn stays armed, so the retry budget exhausts).
+    chaos_kill_limit: Optional[int] = 1
+    #: Re-dispatches allowed for a pair lost inside a dead pool worker
+    #: before it degrades to UNKNOWN (see
+    #: :class:`repro.runtime.supervise.RetryPolicy`); backoff jitter is
+    #: seeded from :attr:`seed`, never wall clock.
+    pair_retry_limit: int = 2
+    #: Write-ahead verdict journal
+    #: (:class:`repro.runtime.journal.VerdictJournal`); ``None`` disables
+    #: durable sessions.  A journal forces *query-pure* SAT checking
+    #: (``incremental_sat`` is overridden to fresh-solver-per-query) so
+    #: every verdict is a pure function of the pair and replaying a prefix
+    #: reproduces the uninterrupted trajectory bit-for-bit.
+    journal: Optional[object] = None
     #: Structured trace sink (:class:`repro.obs.Tracer`); ``None`` wires the
     #: shared no-op tracer, whose cost is one attribute read per site.
     tracer: Optional[object] = None
@@ -283,6 +301,18 @@ class SweepEngine:
                     "jobs > 1 requires the compiled engine (batched "
                     "counterexample resimulation)"
                 )
+        self._journal = self.config.journal
+        if self._journal is not None and self.config.solver_factory is not None:
+            raise SweepError(
+                "a verdict journal cannot record fault-injected solvers "
+                "(their verdicts are not replayable); use one or the other"
+            )
+        #: Journaled runs force query-pure (fresh-solver) checking so every
+        #: verdict is a pure function of the pair — the property resume
+        #: identity and sound twin sharing rest on.
+        self._incremental = (
+            self.config.incremental_sat and self._journal is None
+        )
         self.simulator = self._wrap_simulator(
             CompiledSimulator(network) if self._compiled else Simulator(network)
         )
@@ -295,6 +325,10 @@ class SweepEngine:
             if self.config.registry is not None
             else MetricsRegistry()
         )
+        if self._journal is not None:
+            self._journal.bind(
+                network, config_fingerprint(self.config, self.generator)
+            )
         self._rng = random.Random(self.config.seed)
         #: Counterexamples awaiting resimulation: (total, partial, rep, member).
         self._pending_cex: list[
@@ -439,7 +473,7 @@ class SweepEngine:
         checker = PairChecker(
             self.network,
             conflict_limit=config.sat_conflict_limit,
-            incremental=config.incremental_sat,
+            incremental=self._incremental,
             budget=budget,
             solver_factory=config.solver_factory,
             max_retries=config.solver_retries,
@@ -480,7 +514,7 @@ class SweepEngine:
                     others = [uid for uid in cls if uid != rep]
                     member = others[0]
                     complemented = classes.phase(rep) != classes.phase(member)
-                    outcome, vector = self._checked_attempt(
+                    outcome, vector = self._journaled_attempt(
                         checker, metrics, rep, member, complemented, rung=0
                     )
                     metrics.sat_calls += 1
@@ -532,6 +566,7 @@ class SweepEngine:
             metrics.solver_retries += checker.stats.retries
             metrics.sat_phase_time += time.perf_counter() - start
         self.registry.inc_many("sat.solver", checker.solver_stats)
+        self._fold_session_stats()
         return result
 
     def _checked_attempt(
@@ -579,6 +614,206 @@ class SweepEngine:
                     rung=rung,
                     dur=attempt_s,
                 )
+
+    # ------------------------------------------------------------------
+    # Durable sessions (verdict journal)
+    # ------------------------------------------------------------------
+    def _journaled_attempt(
+        self,
+        checker: PairChecker,
+        metrics: SweepMetrics,
+        rep: int,
+        member: int,
+        complemented: bool,
+        rung: int,
+        conflict_limit=None,
+    ):
+        """A serial pair query routed through the verdict journal.
+
+        With no journal this is exactly :meth:`_checked_attempt`.  With
+        one, a journaled verdict for the pair's key is replayed (no solver
+        touched) with identical accounting and trace records; a fresh
+        verdict is solved, then durably appended *before* the caller
+        merges it.  UNKNOWNs are only journaled when deterministic —
+        reached at the nominal limit with no budget expiry and no
+        transient-fault retry in the window.
+        """
+        journal = self._journal
+        if journal is None:
+            return self._checked_attempt(
+                checker, metrics, rep, member, complemented, rung,
+                conflict_limit,
+            )
+        nominal = (
+            self.config.sat_conflict_limit
+            if conflict_limit is None
+            else conflict_limit
+        )
+        record = journal.lookup(rep, member, complemented, nominal)
+        if record is not None:
+            return self._apply_replay(
+                metrics, rep, member, complemented, rung, record
+            )
+        budget = self.config.budget
+        conflicts_before = checker.stats.conflicts
+        props_before = checker.stats.propagations
+        retries_before = checker.stats.retries
+        outcome, vector = self._checked_attempt(
+            checker, metrics, rep, member, complemented, rung, conflict_limit
+        )
+        deterministic_unknown = (
+            checker.stats.retries == retries_before
+            and (budget is None or not budget.expired())
+        )
+        if outcome is not SatResult.UNKNOWN or deterministic_unknown:
+            journal.record(
+                rep,
+                member,
+                complemented,
+                nominal,
+                outcome,
+                vector,
+                conflicts=checker.stats.conflicts - conflicts_before,
+                propagations=checker.stats.propagations - props_before,
+                rung=rung,
+            )
+        return outcome, vector
+
+    def _apply_replay(
+        self,
+        metrics: SweepMetrics,
+        rep: int,
+        member: int,
+        complemented: bool,
+        rung: int,
+        record,
+    ):
+        """Merge-side effects of one replayed verdict.
+
+        Emits the same trace event and registry/budget charges as a live
+        query (minus wall time: replay costs zero SAT seconds), so the
+        deterministic trace projection of a resumed run is identical to
+        the uninterrupted run's.
+        """
+        metrics.charge_attempt(rung, 0.0)
+        budget = self.config.budget
+        if budget is not None:
+            budget.charge_sat_call()
+            budget.charge_conflicts(record.conflicts)
+        self.registry.observe("sat.conflicts_per_call", record.conflicts)
+        self.registry.inc_many(
+            "sat.solver",
+            {
+                "conflicts": record.conflicts,
+                "propagations": record.propagations,
+            },
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "sat.call",
+                rep=rep,
+                member=member,
+                complement=complemented,
+                verdict=record.outcome.value,
+                conflicts=record.conflicts,
+                rung=rung,
+                dur=0.0,
+            )
+        vector = (
+            None
+            if record.vector is None
+            else InputVector(dict(record.vector.values))
+        )
+        return record.outcome, vector
+
+    def _journal_partition(self, pairs, limits=None):
+        """Split a wave into replayed verdicts and pairs to dispatch.
+
+        Returns ``(replayed, dispatch, dispatch_limits)`` where
+        ``replayed`` maps wave offsets to fabricated
+        :class:`PairVerdict` objects (zero SAT seconds) and ``dispatch``
+        keeps the relative order of the remaining pairs — so stitching
+        pool answers back by offset preserves the canonical merge order.
+        """
+        journal = self._journal
+        if journal is None:
+            return (
+                {},
+                list(pairs),
+                None if limits is None else list(limits),
+            )
+        base = self.config.sat_conflict_limit
+        replayed: dict[int, PairVerdict] = {}
+        dispatch: list = []
+        dispatch_limits: list = []
+        for offset, (rep, member, complemented) in enumerate(pairs):
+            nominal = base
+            if limits is not None and limits[offset] is not None:
+                nominal = limits[offset]
+            record = journal.lookup(rep, member, complemented, nominal)
+            if record is None:
+                dispatch.append((rep, member, complemented))
+                dispatch_limits.append(
+                    None if limits is None else limits[offset]
+                )
+                continue
+            replayed[offset] = PairVerdict(
+                record.outcome,
+                None
+                if record.vector is None
+                else InputVector(dict(record.vector.values)),
+                record.conflicts,
+                0.0,
+                propagations=record.propagations,
+                limit=nominal,
+            )
+        return (
+            replayed,
+            dispatch,
+            None if limits is None else dispatch_limits,
+        )
+
+    def _journal_pooled(
+        self, rep, member, complemented, verdict, rung, nominal
+    ) -> None:
+        """Durably append one pooled verdict (merge order = append order).
+
+        Degraded verdicts are never journaled (no worker answer exists);
+        an UNKNOWN is journaled only when the worker solved under the
+        nominal limit — a budget-tightened limit makes the UNKNOWN
+        non-deterministic, so it must be re-solved on resume.
+        """
+        journal = self._journal
+        if journal is None or verdict.degraded:
+            return
+        if (
+            verdict.outcome is SatResult.UNKNOWN
+            and verdict.limit != nominal
+        ):
+            return
+        journal.record(
+            rep,
+            member,
+            complemented,
+            nominal,
+            verdict.outcome,
+            verdict.vector,
+            conflicts=verdict.conflicts,
+            propagations=verdict.propagations,
+            rung=rung,
+        )
+
+    def _fold_session_stats(self, pool=None) -> None:
+        """Publish journal + pool-supervision counters into the registry.
+
+        The journal hands out *deltas* (several fold sites may share one
+        journal across the sweep and the CEC fallback); a pool instance is
+        folded exactly once, by whoever closes it.
+        """
+        if self._journal is not None:
+            self.registry.inc_many("journal", self._journal.consume_stats())
+        if pool is not None:
+            self.registry.inc_many("pool", pool.supervision_stats)
 
     # ------------------------------------------------------------------
     # Parallel SAT phase (jobs > 1)
@@ -652,9 +887,13 @@ class SweepEngine:
                 config.jobs,
                 shards=config.sat_shards,
                 conflict_limit=config.sat_conflict_limit,
-                incremental=config.incremental_sat,
+                incremental=self._incremental,
                 sat_backend=config.sat_backend,
                 chaos_kill_pair=config.chaos_kill_pair,
+                chaos_kill_limit=config.chaos_kill_limit,
+                retry_policy=RetryPolicy(
+                    max_retries=config.pair_retry_limit, seed=config.seed
+                ),
                 tracer=tracer,
             )
             try:
@@ -672,10 +911,32 @@ class SweepEngine:
                     metrics.waves += 1
                     self.registry.observe("sweep.wave_size", len(wave))
                     with tracer.span("wave", wave=this_wave, size=len(wave)):
-                        verdicts = pool.check_pairs(wave, budget=budget)
-                        for (rep, member, complemented), verdict in zip(
-                            wave, verdicts
-                        ):
+                        replayed, dispatch, _ = self._journal_partition(wave)
+                        pooled = (
+                            pool.check_pairs(dispatch, budget=budget)
+                            if dispatch
+                            else []
+                        )
+                        pooled_iter = iter(pooled)
+                        verdicts = [
+                            replayed[offset]
+                            if offset in replayed
+                            else next(pooled_iter)
+                            for offset in range(len(wave))
+                        ]
+                        for offset, (
+                            (rep, member, complemented),
+                            verdict,
+                        ) in enumerate(zip(wave, verdicts)):
+                            if offset not in replayed:
+                                self._journal_pooled(
+                                    rep,
+                                    member,
+                                    complemented,
+                                    verdict,
+                                    rung=0,
+                                    nominal=config.sat_conflict_limit,
+                                )
                             self._merge_verdict_time(
                                 metrics, verdict, rung=0
                             )
@@ -742,6 +1003,7 @@ class SweepEngine:
                     )
             finally:
                 metrics.worker_failures += pool.worker_failures
+                self._fold_session_stats(pool=pool)
                 pool.close()
             metrics.sat_phase_time += time.perf_counter() - start
         return result
@@ -800,14 +1062,37 @@ class SweepEngine:
                     base_limit * (config.escalation_factor ** rung)
                     for _, _, _, rung in wave
                 ]
-                verdicts = pool.check_pairs(
-                    [(rep, member, comp) for rep, member, comp, _ in wave],
-                    limits=limits,
-                    budget=budget,
+                pairs = [(rep, member, comp) for rep, member, comp, _ in wave]
+                replayed, dispatch, dispatch_limits = self._journal_partition(
+                    pairs, limits
                 )
-                for (rep, member, complemented, rung), verdict in zip(
-                    wave, verdicts
-                ):
+                pooled = (
+                    pool.check_pairs(
+                        dispatch, limits=dispatch_limits, budget=budget
+                    )
+                    if dispatch
+                    else []
+                )
+                pooled_iter = iter(pooled)
+                verdicts = [
+                    replayed[offset]
+                    if offset in replayed
+                    else next(pooled_iter)
+                    for offset in range(len(wave))
+                ]
+                for offset, (
+                    (rep, member, complemented, rung),
+                    verdict,
+                ) in enumerate(zip(wave, verdicts)):
+                    if offset not in replayed:
+                        self._journal_pooled(
+                            rep,
+                            member,
+                            complemented,
+                            verdict,
+                            rung=rung,
+                            nominal=limits[offset],
+                        )
                     self._merge_verdict_time(metrics, verdict, rung=rung)
                     metrics.sat_calls += 1
                     metrics.escalations += 1
@@ -876,7 +1161,7 @@ class SweepEngine:
                     break
                 rep, member, complemented, rung = queue.pop(0)
                 limit = base_limit * (config.escalation_factor ** rung)
-                outcome, vector = self._checked_attempt(
+                outcome, vector = self._journaled_attempt(
                     checker,
                     metrics,
                     rep,

@@ -36,7 +36,7 @@ from typing import Optional
 from repro.benchgen import benchmark_names, build_benchmark
 from repro.core import factory, make_generator
 from repro.errors import ReproError
-from repro.runtime import Budget
+from repro.runtime import Budget, atomic_write_json, atomic_write_text
 from repro.io import (
     bench_text,
     blif_text,
@@ -85,7 +85,9 @@ def save_network(network: Network, path: str) -> None:
         raise ReproError(
             f"unsupported netlist extension {suffix!r} (use .blif/.bench/.aag)"
         )
-    Path(path).write_text(text, encoding="utf-8")
+    # Atomic: a crash mid-write must never leave a half-written netlist
+    # (a resumed session byte-compares these artifacts).
+    atomic_write_text(path, text)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -149,6 +151,40 @@ def _open_tracer(args: argparse.Namespace, command: str):
     )
 
 
+def _open_journal(args: argparse.Namespace):
+    """Build the verdict journal from ``--journal``/``--resume``.
+
+    ``--resume`` replays an existing journal (skipping already-proven
+    pairs); without it, an existing non-empty journal is refused rather
+    than silently extended.
+    """
+    path = getattr(args, "journal", None)
+    if path is None:
+        if getattr(args, "resume", False):
+            raise ReproError("--resume requires --journal FILE")
+        return None
+    from repro.runtime import VerdictJournal
+
+    return VerdictJournal(path, resume=getattr(args, "resume", False))
+
+
+def _report_journal(args: argparse.Namespace, journal) -> None:
+    if journal is None:
+        return
+    stats = journal.stats
+    print(
+        f"journal -> {args.journal} "
+        f"({stats['replayed_verdicts']} replayed, "
+        f"{stats['appends']} appended"
+        + (
+            f", torn tail truncated"
+            if stats["torn_tail_truncations"]
+            else ""
+        )
+        + ")"
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     network = load_network(args.input)
     generator = make_generator(
@@ -158,6 +194,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         simgen_backend=args.simgen_backend,
     )
     tracer = _open_tracer(args, "sweep")
+    journal = _open_journal(args)
     config = SweepConfig(
         seed=args.seed,
         iterations=args.iterations,
@@ -167,15 +204,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         sat_backend=args.sat_backend,
         tracer=tracer,
+        journal=journal,
     )
-    engine = SweepEngine(network, generator, config)
     try:
+        engine = SweepEngine(network, generator, config)
         result = engine.run()
     finally:
         if tracer is not None:
             tracer.close()
+        if journal is not None:
+            journal.close()
     if tracer is not None:
         print(f"trace -> {args.trace}")
+    _report_journal(args, journal)
     metrics = result.metrics
     if metrics.cost_history:
         print(
@@ -210,6 +251,7 @@ def _cmd_cec(args: argparse.Namespace) -> int:
     network_a = load_network(args.golden)
     network_b = load_network(args.revised)
     tracer = _open_tracer(args, "cec")
+    journal = _open_journal(args)
     try:
         result = check_equivalence(
             network_a,
@@ -225,13 +267,17 @@ def _cmd_cec(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 sat_backend=args.sat_backend,
                 tracer=tracer,
+                journal=journal,
             ),
         )
     finally:
         if tracer is not None:
             tracer.close()
+        if journal is not None:
+            journal.close()
     if tracer is not None:
         print(f"trace -> {args.trace}")
+    _report_journal(args, journal)
     verdict = result.verdict.upper()
     print(f"{verdict}  ({result.metrics.sat_calls} SAT calls)")
     for name, state in result.outputs.items():
@@ -248,14 +294,14 @@ def _cmd_cec(args: argparse.Namespace) -> int:
             "verdict": result.verdict,
             "equivalent": result.equivalent,
             "conclusive": result.conclusive,
-            "outputs": result.outputs,
+            # Sorted so the report is byte-stable across worker counts
+            # (the per-output dict is populated in dispatch order).
+            "outputs": dict(sorted(result.outputs.items())),
             "sat_calls": result.metrics.sat_calls,
             "deadline_expired": result.metrics.deadline_expired,
             "interrupted": result.metrics.interrupted,
         }
-        Path(args.json).write_text(
-            json.dumps(report, indent=2) + "\n", encoding="utf-8"
-        )
+        atomic_write_json(args.json, report)
     # A difference is exit 1; "inconclusive" exits 0 like "equivalent" so a
     # deadline-bounded run in CI is distinguishable from a refutation (the
     # report carries conclusive=false).
@@ -400,6 +446,14 @@ def main(argv: list[str] | None = None) -> int:
         default="compiled", dest="sat_backend",
         help="CDCL solver core (trajectories identical; compiled is faster)",
     )
+    p.add_argument(
+        "--journal", metavar="FILE",
+        help="write-ahead verdict journal (crash-safe; replay with --resume)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing --journal, skipping already-proven pairs",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cec", help="combinational equivalence check")
@@ -437,6 +491,14 @@ def main(argv: list[str] | None = None) -> int:
         "--sat-backend", choices=("compiled", "reference"),
         default="compiled", dest="sat_backend",
         help="CDCL solver core (trajectories identical; compiled is faster)",
+    )
+    p.add_argument(
+        "--journal", metavar="FILE",
+        help="write-ahead verdict journal (crash-safe; replay with --resume)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing --journal, skipping already-proven pairs",
     )
     p.set_defaults(fn=_cmd_cec)
 

@@ -8,11 +8,13 @@ from repro.transforms.rewrite import (
     shannon_expand,
     sop_resynthesize,
 )
-from repro.transforms.strash import strash
+from repro.transforms.strash import network_signature, node_signatures, strash
 
 __all__ = [
     "decompose_to_arity",
     "double_negate",
+    "network_signature",
+    "node_signatures",
     "put_on_top",
     "rewrite",
     "shannon_expand",

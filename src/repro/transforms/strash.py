@@ -10,10 +10,63 @@ nodes are bit-identical structure, which no simulation is needed to spot).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 from repro.logic.truthtable import TruthTable
 from repro.network.network import Network
+
+
+def _digest(*parts) -> int:
+    hasher = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        hasher.update(str(part).encode("ascii"))
+        hasher.update(b"|")
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def node_signatures(network: Network) -> dict[int, int]:
+    """Structural signature (stable 64-bit hash) of every node.
+
+    The signature is a pure function of the node's *structure*: PIs hash
+    their interface position, gates hash ``(num_vars, table bits, fanin
+    signatures)`` — the same key :func:`strash` merges on, so structural
+    twins share a signature while uids (which depend on construction
+    order) do not leak in.  This is what makes signatures usable as
+    **durable pair keys**: a verdict journal keyed by signatures stays
+    valid across process restarts, for any worker count, and even across
+    re-parses of the same netlist.
+    """
+    signatures: dict[int, int] = {}
+    for position, pi in enumerate(network.pis):
+        signatures[pi] = _digest("pi", position)
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi:
+            continue
+        signatures[uid] = _digest(
+            "gate",
+            node.table.num_vars,
+            node.table.bits,
+            *(signatures[f] for f in node.fanins),
+        )
+    return signatures
+
+
+def network_signature(network: Network) -> str:
+    """Structural fingerprint of a whole network (hex string).
+
+    Hashes the PI count and the PO-ordered node signatures (with PO
+    names), so two networks agree iff their interface and PO cone
+    structures agree.  The verdict journal stores this in its header and
+    refuses to resume against a different network.
+    """
+    signatures = node_signatures(network)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(f"pis={len(network.pis)}".encode("ascii"))
+    for name, uid in network.pos:
+        hasher.update(f"|{name}={signatures[uid]:016x}".encode("ascii"))
+    return hasher.hexdigest()
 
 
 def _shrink_to_support(table: TruthTable) -> tuple[TruthTable, list[int]]:

@@ -1,0 +1,37 @@
+"""Trace analyzer: the durable-session supervision line."""
+
+from repro.obs.analyze import TraceSummary, render, summarize
+
+
+def test_durable_session_line_renders_journal_and_pool_counters():
+    summary = TraceSummary()
+    summary.counters = {
+        "journal.appends": 12,
+        "journal.replayed_verdicts": 7,
+        "journal.torn_tail_truncations": 1,
+        "pool.respawns": 2,
+        "pool.retries": 3,
+        "pool.pairs_redispatched": 3,
+        "pool.heartbeats_missed": 1,
+    }
+    report = render(summary)
+    line = next(l for l in report.splitlines() if "durable session" in l)
+    assert "appends=12" in line
+    assert "replayed=7" in line
+    assert "torn_tails=1" in line
+    assert "respawns=2" in line
+    assert "redispatched=3" in line
+
+
+def test_durable_session_line_absent_without_counters():
+    assert "durable session" not in render(TraceSummary())
+
+
+def test_counters_record_feeds_the_summary():
+    records = [
+        {"type": "header", "meta": {}},
+        {"type": "counters", "values": {"journal.appends": 4}},
+    ]
+    summary = summarize(records)
+    assert summary.counters == {"journal.appends": 4}
+    assert "journal appends=4" in render(summary)

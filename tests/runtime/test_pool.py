@@ -1,10 +1,10 @@
-"""CheckerPool: canonical-order verdicts, chaos degradation, budgets."""
+"""CheckerPool: canonical-order verdicts, supervised retry, budgets."""
 
 import pytest
 
 from repro.errors import SweepError
 from repro.network import NetworkBuilder
-from repro.runtime import Budget, CheckerPool
+from repro.runtime import Budget, CheckerPool, RetryPolicy
 from repro.sat.solver import SatResult
 from repro.simulation.simulator import Simulator
 
@@ -72,18 +72,65 @@ class TestCheckPairs:
 
 
 class TestFaults:
-    def test_killed_worker_degrades_only_its_pair(self):
+    def test_killed_worker_pair_is_redispatched_and_resolved(self):
+        """A SIGKILLed worker's pair is retried, not abandoned: the respawn
+        runs disarmed (chaos_kill_limit=1) and answers it for real."""
         net, nodes = triple_network()
         g1, g2, _, _ = nodes
-        with CheckerPool(net, 2, chaos_kill_pair=(g1, g2)) as pool:
+        with CheckerPool(
+            net, 2, chaos_kill_pair=(g1, g2),
+            retry_policy=RetryPolicy(backoff_base=0.01),
+        ) as pool:
+            verdicts = pool.check_pairs(standard_pairs(nodes))
+            assert pool.worker_failures == 1
+            stats = pool.supervision_stats
+        retried, sat, comp = verdicts
+        assert not retried.degraded
+        assert retried.outcome is SatResult.UNSAT
+        assert stats["respawns"] >= 1
+        assert stats["retries"] >= 1
+        assert stats["pairs_redispatched"] >= 1
+        # The surviving pairs still get real answers (respawned worker
+        # serves the tasks that were queued behind the poisoned one).
+        assert sat.outcome is SatResult.SAT and not sat.degraded
+        assert comp.outcome is SatResult.UNSAT and not comp.degraded
+
+    def test_zero_retry_policy_degrades_on_first_loss(self):
+        """RetryPolicy(max_retries=0) restores the legacy behaviour: the
+        lost pair degrades to UNKNOWN immediately, never fabricated."""
+        net, nodes = triple_network()
+        g1, g2, _, _ = nodes
+        with CheckerPool(
+            net, 2, chaos_kill_pair=(g1, g2),
+            retry_policy=RetryPolicy(max_retries=0),
+        ) as pool:
             verdicts = pool.check_pairs(standard_pairs(nodes))
             assert pool.worker_failures == 1
         poisoned, sat, comp = verdicts
         assert poisoned.degraded
         assert poisoned.outcome is SatResult.UNKNOWN
         assert poisoned.vector is None
-        # The surviving pairs still get real answers (respawned worker
-        # serves the tasks that were queued behind the poisoned one).
+        assert sat.outcome is SatResult.SAT and not sat.degraded
+        assert comp.outcome is SatResult.UNSAT and not comp.degraded
+
+    def test_persistent_killer_exhausts_retry_budget_then_degrades(self):
+        """chaos_kill_limit=None keeps every respawn armed: the pair keeps
+        dying, the bounded retry budget runs out, and only then does the
+        verdict degrade to UNKNOWN."""
+        net, nodes = triple_network()
+        g1, g2, _, _ = nodes
+        with CheckerPool(
+            net, 2, chaos_kill_pair=(g1, g2), chaos_kill_limit=None,
+            retry_policy=RetryPolicy(max_retries=1, backoff_base=0.01),
+        ) as pool:
+            verdicts = pool.check_pairs(standard_pairs(nodes))
+            # Initial dispatch + one retry, both killed.
+            assert pool.worker_failures == 2
+            stats = pool.supervision_stats
+        poisoned, sat, comp = verdicts
+        assert poisoned.degraded
+        assert poisoned.outcome is SatResult.UNKNOWN
+        assert stats["retries"] == 1
         assert sat.outcome is SatResult.SAT and not sat.degraded
         assert comp.outcome is SatResult.UNSAT and not comp.degraded
 

@@ -1,0 +1,79 @@
+"""WorkerSupervisor and RetryPolicy: deterministic backoff, counters."""
+
+from repro.runtime.supervise import RetryPolicy, WorkerSupervisor
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay((3, 9), 1) == policy.delay((3, 9), 1)
+        # Pure function of (seed, key, attempt): a fresh instance agrees.
+        assert policy.delay((3, 9), 2) == RetryPolicy(seed=7).delay((3, 9), 2)
+
+    def test_delay_varies_with_seed_key_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        baseline = policy.delay((3, 9), 1)
+        assert RetryPolicy(seed=8).delay((3, 9), 1) != baseline
+        assert policy.delay((3, 10), 1) != baseline
+        assert policy.delay((3, 9), 2) != baseline
+
+    def test_backoff_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, jitter=0.5, seed=1
+        )
+        for attempt, base in ((1, 0.1), (2, 0.2), (3, 0.4)):
+            delay = policy.delay((1, 2), attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_zero_jitter_gives_exact_schedule(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=3.0, jitter=0.0)
+        assert policy.delay((0, 0), 1) == 0.05
+        assert policy.delay((0, 0), 2) == 0.05 * 3
+        assert policy.delay((0, 0), 3) == 0.05 * 9
+
+
+class TestWorkerSupervisor:
+    def test_respawns_counted_from_second_spawn(self):
+        sup = WorkerSupervisor()
+        sup.on_spawn(0)
+        sup.on_spawn(1)
+        assert sup.stats["respawns"] == 0
+        sup.on_spawn(0)  # replacement for a dead worker
+        assert sup.stats["respawns"] == 1
+
+    def test_should_retry_respects_budget_and_counts(self):
+        sup = WorkerSupervisor(policy=RetryPolicy(max_retries=2, seed=3))
+        assert sup.should_retry((1, 2), 1) is not None
+        assert sup.should_retry((1, 2), 2) is not None
+        assert sup.should_retry((1, 2), 3) is None
+        assert sup.stats["retries"] == 2
+        assert sup.stats["pairs_redispatched"] == 2
+
+    def test_missed_heartbeats_counted_for_busy_workers_only(self):
+        clock = [0.0]
+        sup = WorkerSupervisor(
+            heartbeat_interval=1.0, clock=lambda: clock[0]
+        )
+        sup.on_spawn(0)
+        sup.on_spawn(1)
+        sup.heartbeat(0)
+        sup.heartbeat(1)
+        clock[0] = 2.5
+        sup.check_heartbeats({0})  # only worker 0 is busy
+        assert sup.stats["heartbeats_missed"] == 1
+        # The beat clock resets on a miss: no double count immediately.
+        sup.check_heartbeats({0})
+        assert sup.stats["heartbeats_missed"] == 1
+
+    def test_heartbeat_resets_the_silence_window(self):
+        clock = [0.0]
+        sup = WorkerSupervisor(
+            heartbeat_interval=1.0, clock=lambda: clock[0]
+        )
+        sup.on_spawn(0)
+        sup.heartbeat(0)
+        clock[0] = 0.9
+        sup.heartbeat(0)
+        clock[0] = 1.8  # 0.9s since the last beat: within the interval
+        sup.check_heartbeats({0})
+        assert sup.stats["heartbeats_missed"] == 0

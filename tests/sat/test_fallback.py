@@ -1,0 +1,87 @@
+"""Graceful degradation of the compiled SAT core.
+
+A missing compiler or a corrupt cached ``.so`` must never take the run
+down: the loader falls back to :class:`PyArenaCdclSolver` with a one-time
+warning (and repairs a damaged cache by rebuilding it once).
+"""
+
+import warnings
+
+import pytest
+
+import repro.sat.compiled as compiled
+
+
+@pytest.fixture
+def clean_warn_flag(monkeypatch):
+    monkeypatch.setattr(compiled, "_FALLBACK_WARNED", False)
+    monkeypatch.delenv("REPRO_SATCORE", raising=False)
+
+
+class TestCompilerMissing:
+    def test_no_compiler_warns_once_and_falls_back(
+        self, monkeypatch, clean_warn_flag
+    ):
+        monkeypatch.setattr(compiled.shutil, "which", lambda name: None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert compiled._load_satcore() is None
+            assert compiled._load_satcore() is None  # second call: silent
+        fallback = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback) == 1
+        assert "falling back" in str(fallback[0].message)
+
+    def test_explicit_python_opt_out_is_silent(
+        self, monkeypatch, clean_warn_flag
+    ):
+        monkeypatch.setenv("REPRO_SATCORE", "python")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert compiled._load_satcore() is None
+        assert not [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+
+
+@pytest.mark.skipif(
+    compiled.SAT_CORE != "c", reason="needs a working C toolchain"
+)
+class TestCorruptCache:
+    def test_corrupt_cached_library_is_rebuilt_once(
+        self, monkeypatch, tmp_path, clean_warn_flag
+    ):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        lib_path = compiled._build_library()
+        assert lib_path is not None and lib_path.startswith(str(tmp_path))
+        with open(lib_path, "wb") as handle:
+            handle.write(b"\x7fELF not really a shared object\n")
+        assert compiled._try_load(lib_path) is None, "corruption must bite"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            lib = compiled._load_satcore()
+        assert lib is not None, "rebuild should recover the compiled core"
+        # The repaired cache loads directly again.
+        assert compiled._try_load(lib_path) is not None
+        assert not [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_unrecoverable_cache_warns_and_falls_back(
+        self, monkeypatch, tmp_path, clean_warn_flag
+    ):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        lib_path = compiled._build_library()
+        assert lib_path is not None
+        with open(lib_path, "wb") as handle:
+            handle.write(b"junk")
+        # Rebuilding "succeeds" but yields the same broken bits: the loader
+        # must give up with one warning instead of looping.
+        monkeypatch.setattr(compiled, "_try_load", lambda path: None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert compiled._load_satcore() is None
+        fallback = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(fallback) == 1
+        assert "corrupt" in str(fallback[0].message)

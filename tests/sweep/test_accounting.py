@@ -93,11 +93,28 @@ class TestSweepAccounting:
         assert serial.metrics.proven == parallel.metrics.proven
         assert serial.metrics.cost_history == parallel.metrics.cost_history
 
-    def test_killed_worker_degrades_and_accounting_survives(self):
+    def test_killed_worker_is_retried_and_accounting_survives(self):
         net = duplicated_network()
         _, clean = run_engine(net, jobs=2)
         target = clean.equivalences[0][:2]
-        _, chaotic = run_engine(net, jobs=2, chaos_kill_pair=target)
+        engine, chaotic = run_engine(net, jobs=2, chaos_kill_pair=target)
+        metrics = chaotic.metrics
+        # Supervision re-dispatches the lost pair: a real verdict, no
+        # degradation, one absorbed worker death.
+        assert metrics.degraded_pairs == 0
+        assert metrics.worker_failures == 1
+        assert metrics.proven == clean.metrics.proven
+        assert engine.registry.as_dict().get("pool.pairs_redispatched") == 1
+        assert_one_timer_owner(metrics)
+
+    def test_exhausted_retry_budget_degrades_and_accounting_survives(self):
+        net = duplicated_network()
+        _, clean = run_engine(net, jobs=2)
+        target = clean.equivalences[0][:2]
+        _, chaotic = run_engine(
+            net, jobs=2, chaos_kill_pair=target,
+            chaos_kill_limit=None, pair_retry_limit=0,
+        )
         metrics = chaotic.metrics
         assert metrics.degraded_pairs >= 1
         assert metrics.worker_failures == 1

@@ -124,15 +124,36 @@ class TestCecParallel:
 
 
 class TestChaos:
-    def test_killed_worker_degrades_pair_without_corrupting_merge(self):
+    def test_killed_worker_pair_is_retried_and_merge_matches_clean_run(self):
+        """A worker SIGKILLed mid-wave costs a respawn, not a verdict: the
+        lost pair is re-dispatched and the merged result equals both an
+        undisturbed jobs=2 run and the serial jobs=1 run."""
         net = duplicated_network()
         clean = run_sweep(net, jobs=2)
         assert clean.equivalences, "workload must have provable pairs"
         target = clean.equivalences[0][:2]
         chaotic = run_sweep(net, jobs=2, chaos_kill_pair=target)
+        assert chaotic.metrics.worker_failures == 1
+        assert chaotic.metrics.unknown == clean.metrics.unknown
+        assert merge_projection(chaotic) == merge_projection(clean)
+        assert merge_projection(chaotic) == merge_projection(
+            run_sweep(net, jobs=1)
+        )
+        assert_equivalences_sound(net, chaotic.equivalences)
+
+    def test_persistent_killer_degrades_pair_without_corrupting_merge(self):
+        """When every respawn is re-armed (chaos_kill_limit=None) the retry
+        budget exhausts and the pair degrades to UNKNOWN — never guessed."""
+        net = duplicated_network()
+        clean = run_sweep(net, jobs=2)
+        target = clean.equivalences[0][:2]
+        chaotic = run_sweep(
+            net, jobs=2, chaos_kill_pair=target,
+            chaos_kill_limit=None, pair_retry_limit=1,
+        )
         metrics = chaotic.metrics
-        assert metrics.worker_failures == 1
-        # The poisoned pair is degraded to UNKNOWN, never guessed.
+        # Initial dispatch + one retry, both killed.
+        assert metrics.worker_failures == 2
         assert metrics.unknown >= 1
         assert target not in {(a, b) for a, b, _ in chaotic.equivalences}
         # Everything that WAS merged is still a true equivalence.
