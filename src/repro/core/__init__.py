@@ -6,6 +6,7 @@ themselves for fine-grained control.
 """
 
 from repro.core.assignment import Assignment, Conflict
+from repro.core.batch import BatchSimGenGenerator
 from repro.core.compiled import (
     GENERATOR_BACKENDS,
     CompiledSimGenGenerator,
@@ -13,6 +14,7 @@ from repro.core.compiled import (
     KernelConflict,
     adapt_backend,
     clear_transition_cache,
+    transition_cache_info,
 )
 from repro.core.decision import (
     DEFAULT_ALPHA,
@@ -48,6 +50,7 @@ from repro.core.strategies import SIMGEN, STRATEGY_NAMES, factory, make_generato
 __all__ = [
     "Assignment",
     "BaseVectorGenerator",
+    "BatchSimGenGenerator",
     "CompiledSimGenGenerator",
     "CompiledSimGenKernel",
     "Conflict",
@@ -81,4 +84,5 @@ __all__ = [
     "random_outgold",
     "roulette_select",
     "select_targets",
+    "transition_cache_info",
 ]

@@ -65,7 +65,7 @@ from repro.simulation.compiled import CompiledSimulator
 
 #: Backend names accepted by the seam (``SweepConfig.simgen_backend``,
 #: ``make_generator(simgen_backend=...)``, ``--simgen-backend``).
-GENERATOR_BACKENDS = ("compiled", "reference")
+GENERATOR_BACKENDS = ("batch", "compiled", "reference")
 
 #: Gates with at most this many fanins get their transition table fully
 #: enumerated at compile time (``3 ** (k + 1)`` reachable states); larger
@@ -257,29 +257,59 @@ class _TransitionTable:
         return result
 
 
+#: Shared-table cache bound (distinct ``(rows, k, advanced)`` functions).
+#: LUT networks reuse few functions, so the cap is generous; long-running
+#: processes sweeping many unrelated networks stay bounded regardless.
+#: Eviction drops the cache's reference only — kernels built earlier keep
+#: theirs, so nothing live is invalidated.
+TRANSITION_CACHE_CAP = 512
+
 #: (rows, k, advanced) -> shared transition table.  Gate functions recur
 #: across gates and networks, so tables amortize like the ISOP/eval-plan
 #: caches.  ``k`` must be part of the key: a gate that ignores its highest
 #: pins produces the same rows as its lower-arity twin, but the packed
-#: index layout (stride ``4**k``) differs.
+#: index layout (stride ``4**k``) differs.  Insertion order doubles as LRU
+#: order (hits reinsert), bounded by :data:`TRANSITION_CACHE_CAP`.
 _TRANSITION_CACHE: dict[
     tuple[tuple[tuple[int, int, int], ...], int, bool], _TransitionTable
 ] = {}
+
+_TRANSITION_EVICTIONS = 0
 
 
 def transition_table(
     rows: tuple[tuple[int, int, int], ...], k: int, advanced: bool
 ) -> _TransitionTable:
     """The shared transition table for one gate function."""
+    global _TRANSITION_EVICTIONS
     key = (rows, k, advanced)
     table = _TRANSITION_CACHE.get(key)
     if table is None:
+        while len(_TRANSITION_CACHE) >= TRANSITION_CACHE_CAP:
+            _TRANSITION_CACHE.pop(next(iter(_TRANSITION_CACHE)))
+            _TRANSITION_EVICTIONS += 1
         table = _TRANSITION_CACHE[key] = _TransitionTable(rows, k, advanced)
+    else:
+        # LRU touch: reinsert so the hot tail survives evictions.
+        del _TRANSITION_CACHE[key]
+        _TRANSITION_CACHE[key] = table
     return table
 
 
+def transition_cache_info() -> dict:
+    """Cache occupancy and lifetime evictions (tests, diagnostics)."""
+    return {
+        "size": len(_TRANSITION_CACHE),
+        "cap": TRANSITION_CACHE_CAP,
+        "evictions": _TRANSITION_EVICTIONS,
+    }
+
+
 def clear_transition_cache() -> None:
-    """Drop every shared transition table (perf-harness cold starts)."""
+    """Drop every shared transition table (perf-harness cold starts).
+
+    The eviction counter is lifetime-monotonic and survives clears.
+    """
     _TRANSITION_CACHE.clear()
 
 
@@ -925,14 +955,21 @@ def adapt_backend(generator, backend: str):
     """
     if backend not in GENERATOR_BACKENDS:
         raise GenerationError(
-            f"unknown simgen backend {backend!r} (use 'compiled' or 'reference')"
+            f"unknown simgen backend {backend!r} "
+            "(use 'batch', 'compiled', or 'reference')"
         )
     if generator is None or not isinstance(generator, SimGenGenerator):
         return generator
-    is_compiled = isinstance(generator, CompiledSimGenGenerator)
-    if (backend == "compiled") == is_compiled:
+    if generator.backend == backend:
         return generator
-    cls = CompiledSimGenGenerator if backend == "compiled" else SimGenGenerator
+    if backend == "batch":
+        from repro.core.batch import BatchSimGenGenerator
+
+        cls = BatchSimGenGenerator
+    elif backend == "compiled":
+        cls = CompiledSimGenGenerator
+    else:
+        cls = SimGenGenerator
     twin = cls(
         generator.network,
         seed=0,

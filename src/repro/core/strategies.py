@@ -50,7 +50,7 @@ def make_generator(
     seed: int = 0,
     vectors_per_iteration: int = 4,
     max_targets: int = 8,
-    simgen_backend: str = "compiled",
+    simgen_backend: str = "batch",
 ) -> BaseVectorGenerator:
     """Instantiate a generator by its paper name.
 
@@ -61,16 +61,18 @@ def make_generator(
         seed: RNG seed (deterministic runs).
         vectors_per_iteration: Vectors emitted per guided iteration.
         max_targets: Target-node cap per vector for targeted generators.
-        simgen_backend: ``"compiled"`` (default) runs the SimGen variants on
-            the array-lowered kernel of :mod:`repro.core.compiled`;
+        simgen_backend: ``"batch"`` (default) runs the SimGen variants on
+            the lane-batched driver of :mod:`repro.core.batch` (C inner
+            loop + 64-wide speculative verification); ``"compiled"`` on the
+            array-lowered Python kernel of :mod:`repro.core.compiled`;
             ``"reference"`` keeps the dict-walking engines.  Trajectories
-            are bit-identical either way; only speed differs.  Ignored for
-            non-SimGen generators.
+            are bit-identical across all three; only speed differs.
+            Ignored for non-SimGen generators.
     """
     if simgen_backend not in GENERATOR_BACKENDS:
         raise GenerationError(
             f"unknown simgen backend {simgen_backend!r} "
-            "(use 'compiled' or 'reference')"
+            "(use 'batch', 'compiled', or 'reference')"
         )
     key = name.strip().lower()
     if key == "rands":
@@ -91,11 +93,14 @@ def make_generator(
         )
     if key == "simgen":
         key = SIMGEN.lower()
-    cls = (
-        CompiledSimGenGenerator
-        if simgen_backend == "compiled"
-        else SimGenGenerator
-    )
+    if simgen_backend == "batch":
+        from repro.core.batch import BatchSimGenGenerator
+
+        cls = BatchSimGenGenerator
+    elif simgen_backend == "compiled":
+        cls = CompiledSimGenGenerator
+    else:
+        cls = SimGenGenerator
     for config_name, (impl, dec) in _SIMGEN_CONFIGS.items():
         if key == config_name.lower():
             return cls(

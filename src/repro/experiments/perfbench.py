@@ -18,6 +18,14 @@ benchgen workloads:
   - ``compiled``   — the tape-compiled engine with batched counterexample
     resimulation and cone-restricted recompilation.
 
+SimGen rows additionally carry a ``batch`` variant — the lane-batched
+generator of :mod:`repro.core.batch` (C inner loop + 64-wide speculative
+verification) — whose ``batch_simgen_speedup`` column compares
+guided-generation seconds against the scalar compiled kernel on the same
+trajectory, and a ``simgen_vectors_per_sec`` microbench section measures
+raw vector throughput of the two backends under a frozen-work identity
+gate.
+
 All three variants must produce **bit-identical** cost histories,
 SAT-call counts, equivalences, and final classes; the harness asserts
 this per workload and refuses to report a speedup for a run that
@@ -49,6 +57,7 @@ from typing import Optional
 
 from repro.benchgen.suite import sweep_instance
 from repro.core.assignment import Assignment, Conflict as _Conflict
+from repro.core.batch import SIMGEN_CORE
 from repro.core.compiled import CompiledSimGenKernel, clear_transition_cache
 from repro.core.decision import DecisionEngine
 from repro.core.generator import SimGenGenerator
@@ -99,6 +108,12 @@ FULL_WORKLOADS: tuple[tuple[str, str, int], ...] = QUICK_WORKLOADS + (
 SCALING_WORKLOADS: tuple[tuple[str, str, int], ...] = (
     ("cps", "AI+DC+MFFC", 2),
     ("b14_C", "RandS", 2),
+)
+
+#: Strategies routed through the SimGen backend seam — only these rows
+#: get a lane-batched variant (RandS/RevS ignore ``simgen_backend``).
+SIMGEN_STRATEGIES: tuple[str, ...] = (
+    "SI+RD", "AI+RD", "AI+DC", "AI+DC+MFFC",
 )
 
 
@@ -658,6 +673,76 @@ def _measure_simgen_kernel(
     }
 
 
+def _measure_simgen_vectors(
+    networks: list[Network], seed: int = 0, rounds: int = 6, repeats: int = 3
+) -> dict:
+    """Guided-vector throughput: scalar compiled loop vs the batch driver.
+
+    Both backends run the full SimGen configuration over the same initial
+    class (every gate) for ``rounds`` generate() calls per network.  Work
+    is counted in *emitted vectors*; before any rate is reported the two
+    backends' frozen work — every vector of every round, the attempt
+    report count, and the final RNG state — must be identical, or the
+    measurement is refused: a faster generator that emits different
+    vectors would be measuring the wrong thing.
+    """
+    totals = {"compiled": 0.0, "batch": 0.0}
+    work: dict[str, list] = {}
+    for backend in ("compiled", "batch"):
+        best = None
+        for _ in range(max(1, repeats)):
+            clear_plan_caches()
+            frozen = []
+            elapsed = 0.0
+            for network in networks:
+                generator = make_generator(
+                    "AI+DC+MFFC", network, seed=seed, simgen_backend=backend
+                )
+                classes = [
+                    [node.uid for node in network.gates()]
+                ]
+                start = time.perf_counter()
+                emitted = [generator.generate(classes) for _ in range(rounds)]
+                elapsed += time.perf_counter() - start
+                frozen.append(
+                    (
+                        [
+                            [tuple(sorted(v.values.items())) for v in vectors]
+                            for vectors in emitted
+                        ],
+                        len(generator.reports),
+                        generator.rng.getstate(),
+                    )
+                )
+            if best is None or elapsed < best[0]:
+                best = (elapsed, frozen)
+        totals[backend], work[backend] = best
+    if work["compiled"] != work["batch"]:
+        raise ReproError(
+            "batch SimGen backend diverged from the compiled scalar loop "
+            "on the vector-throughput microbench"
+        )
+    vectors = sum(
+        len(vs) for per_net in work["compiled"] for vs in per_net[0]
+    )
+    attempts = sum(per_net[1] for per_net in work["compiled"])
+    compiled_rate = vectors / totals["compiled"] if totals["compiled"] else 0.0
+    batch_rate = vectors / totals["batch"] if totals["batch"] else 0.0
+    return {
+        "strategy": "AI+DC+MFFC",
+        "rounds": rounds,
+        "repeats": repeats,
+        "vectors": vectors,
+        "attempts": attempts,
+        "batch_core": SIMGEN_CORE,
+        "compiled_vectors_per_sec": round(compiled_rate),
+        "batch_vectors_per_sec": round(batch_rate),
+        "speedup": round(batch_rate / compiled_rate, 2)
+        if compiled_rate
+        else None,
+    }
+
+
 def _sat_microbench_instances(seed: int) -> list[list[list[int]]]:
     """Deterministic CNF instances for the solver-core microbench.
 
@@ -932,7 +1017,22 @@ def run_perf_bench(
             simgen_backend="compiled", sat_backend="compiled",
             repeats=repeats,
         )
-        for label, trace in (("reference", reference), ("compiled", compiled)):
+        # The lane-batched generator is the default backend; measure it
+        # against the scalar compiled kernel on the SimGen rows (the only
+        # rows where the seam is live) under the same identity gate.
+        batch = (
+            _run_sweep(
+                network, strategy, "compiled", seed,
+                simgen_backend="batch", sat_backend="compiled",
+                repeats=repeats,
+            )
+            if strategy in SIMGEN_STRATEGIES
+            else None
+        )
+        variants = [("reference", reference), ("compiled", compiled)]
+        if batch is not None:
+            variants.append(("batch", batch))
+        for label, trace in variants:
             if not seed_trace.same_results(trace):
                 raise ReproError(
                     f"{label} engine diverged from the seed trajectory on "
@@ -959,6 +1059,17 @@ def run_perf_bench(
             if compiled.seconds
             else None,
             "identical": True,
+            "batch_s": round(batch.seconds, 4) if batch else None,
+            # The lane-batching gate: guided-generation seconds of the
+            # scalar compiled kernel vs the batch driver, same trajectory.
+            "batch_simgen_speedup": round(
+                compiled.attribution["simgen_s"]
+                / batch.attribution["simgen_s"],
+                2,
+            )
+            if batch and batch.attribution["simgen_s"]
+            else None,
+            "batch_attribution": batch.attribution if batch else None,
             "attribution": compiled.attribution,
             "reference_attribution": reference.attribution,
             # Solver-phase ratio of the backend seam specifically (total
@@ -973,15 +1084,21 @@ def run_perf_bench(
         }
         rows.append(row)
         if verbose:
+            batch_note = (
+                f"  batch simgen {row['batch_simgen_speedup']:.2f}x"
+                if row["batch_simgen_speedup"]
+                else ""
+            )
             print(
                 f"{benchmark:>10s} {strategy:>10s} x{copies}  "
                 f"seed {row['seed_s']:8.3f}s  ref {row['reference_s']:8.3f}s  "
                 f"compiled {row['compiled_s']:8.3f}s  "
-                f"{row['speedup_vs_seed']:.2f}x vs seed"
+                f"{row['speedup_vs_seed']:.2f}x vs seed{batch_note}"
             )
 
     node_evals = _measure_node_evals(list(networks.values()))
     simgen_kernel = _measure_simgen_kernel(list(networks.values()))
+    simgen_vectors = _measure_simgen_vectors(list(networks.values()), seed)
     sat_core = _measure_sat_propagations(seed)
     worker_scaling = _measure_worker_scaling(networks, seed, quick, verbose)
     total_seed = sum(r["seed_s"] for r in rows)
@@ -1006,6 +1123,17 @@ def run_perf_bench(
             _geomean([r["speedup_vs_reference"] or 0.0 for r in rows]) or 0.0,
             2,
         ),
+        "geomean_batch_simgen_speedup": round(
+            _geomean(
+                [
+                    r["batch_simgen_speedup"]
+                    for r in rows
+                    if r["batch_simgen_speedup"]
+                ]
+            )
+            or 0.0,
+            2,
+        ),
     }
     report = {
         "schema": 1,
@@ -1016,6 +1144,7 @@ def run_perf_bench(
         "repeats": repeats,
         "node_evals_per_sec": node_evals,
         "simgen_implications_per_sec": simgen_kernel,
+        "simgen_vectors_per_sec": simgen_vectors,
         "sat_propagations_per_sec": sat_core,
         "workloads": rows,
         "worker_scaling": worker_scaling,
@@ -1030,7 +1159,11 @@ def run_perf_bench(
             f"reference {simgen_kernel['reference_implications_per_sec']:,} "
             f"-> compiled "
             f"{simgen_kernel['compiled_implications_per_sec']:,} "
-            f"({simgen_kernel['speedup']}x); sat propagations/sec: "
+            f"({simgen_kernel['speedup']}x); simgen vectors/sec: "
+            f"compiled {simgen_vectors['compiled_vectors_per_sec']:,} "
+            f"-> batch {simgen_vectors['batch_vectors_per_sec']:,} "
+            f"({simgen_vectors['speedup']}x, "
+            f"core={simgen_vectors['batch_core']}); sat propagations/sec: "
             f"reference {sat_core['reference_propagations_per_sec']:,} "
             f"-> compiled "
             f"{sat_core['compiled_propagations_per_sec']:,} "

@@ -46,16 +46,12 @@ and the perf harness's work-count identity assertion hold them to it.
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import tempfile
 import time
-import warnings
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import SatError
+from repro.runtime.cbuild import CoreLoader, build_shared_library
 from repro.sat.cnf import Cnf
 from repro.sat.solver import CdclSolver, SatResult
 
@@ -125,125 +121,28 @@ def _configure(lib: ctypes.CDLL) -> None:
     lib.sat_get_stats.restype = None
 
 
+#: Build / load / corrupt-cache-recovery machinery, shared with the
+#: SimGen lane core (see :mod:`repro.runtime.cbuild` for the contract).
+_LOADER = CoreLoader(
+    source_path=_SOURCE_PATH,
+    cache_name="satcore",
+    env_var="REPRO_SATCORE",
+    configure=_configure,
+    describe="compiled SAT core",
+)
+
+
 def _build_library() -> Optional[str]:
-    """Compile ``_satcore.c`` into a cached shared object; path or None.
-
-    The cache key is the source hash, so edits rebuild and stale builds
-    are never picked up.  ``os.replace`` makes concurrent builders (e.g.
-    a process pool importing this module in every worker) race benignly:
-    all produce identical bits and the last rename wins atomically.
-    """
-    try:
-        with open(_SOURCE_PATH, "rb") as fh:
-            source = fh.read()
-    except OSError:
-        return None
-    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-    if compiler is None:
-        return None
-    tag = hashlib.sha256(source).hexdigest()[:20]
-    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    candidates = [os.path.join(cache_root, "repro", "satcore")]
-    try:
-        uid = os.getuid()
-    except AttributeError:  # pragma: no cover - non-POSIX
-        uid = 0
-    candidates.append(os.path.join(tempfile.gettempdir(), f"repro-satcore-{uid}"))
-    for lib_dir in candidates:
-        lib_path = os.path.join(lib_dir, f"satcore-{tag}.so")
-        if os.path.exists(lib_path):
-            return lib_path
-        try:
-            os.makedirs(lib_dir, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(suffix=".so.tmp", dir=lib_dir)
-            os.close(fd)
-        except OSError:
-            continue  # cache dir not writable: try the next location
-        try:
-            proc = subprocess.run(
-                [compiler, "-O2", "-std=c99", "-fPIC", "-shared",
-                 "-o", tmp_path, _SOURCE_PATH],
-                stdout=subprocess.DEVNULL,
-                stderr=subprocess.PIPE,
-                timeout=300,
-            )
-        except (OSError, subprocess.SubprocessError):
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            continue
-        if proc.returncode != 0:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            return None  # the source itself fails: no dir will fix that
-        try:
-            os.replace(tmp_path, lib_path)
-        except OSError:
-            continue
-        return lib_path
-    return None
-
-
-_FALLBACK_WARNED = False
-
-
-def _warn_fallback(reason: str) -> None:
-    """One-time heads-up that this process runs the pure-Python core.
-
-    Silence is reserved for the explicit ``REPRO_SATCORE=python`` opt-out;
-    an *involuntary* fallback (no compiler, corrupt cache) should be
-    visible exactly once, because it changes speed, never results.
-    """
-    global _FALLBACK_WARNED
-    if _FALLBACK_WARNED:
-        return
-    _FALLBACK_WARNED = True
-    warnings.warn(
-        f"compiled SAT core unavailable ({reason}); falling back to the "
-        "pure-Python arena solver (identical results, slower)",
-        RuntimeWarning,
-        stacklevel=3,
-    )
+    """Compile ``_satcore.c`` into a cached shared object; path or None."""
+    return build_shared_library(_SOURCE_PATH, "satcore")
 
 
 def _try_load(lib_path: str) -> Optional[ctypes.CDLL]:
-    try:
-        lib = ctypes.CDLL(lib_path)
-        _configure(lib)
-    except (OSError, AttributeError):
-        return None
-    return lib
+    return _LOADER._try_load(lib_path)
 
 
 def _load_satcore() -> Optional[ctypes.CDLL]:
-    if os.environ.get("REPRO_SATCORE", "").strip().lower() == "python":
-        return None  # explicit opt-out: no warning
-    lib_path = _build_library()
-    if lib_path is None:
-        _warn_fallback("no usable C compiler or writable cache directory")
-        return None
-    lib = _try_load(lib_path)
-    if lib is None:
-        # A cached .so that no longer loads (truncated by a crashed
-        # builder, damaged on disk, or missing symbols from an old
-        # layout): discard it and rebuild from source exactly once.
-        try:
-            os.unlink(lib_path)
-        except OSError:
-            pass
-        rebuilt = _build_library()
-        lib = _try_load(rebuilt) if rebuilt is not None else None
-        if lib is None:
-            _warn_fallback(
-                f"cached SAT core {lib_path!r} was corrupt and the "
-                "rebuild attempt did not produce a loadable library"
-            )
-    return lib
+    return _LOADER.load()
 
 
 _LIB = _load_satcore()

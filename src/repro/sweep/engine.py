@@ -72,9 +72,10 @@ class SweepConfig:
     #: perf harness cross-checks this); reference exists as the measured
     #: baseline and for debugging.
     engine: str = "compiled"
-    #: SimGen generator backend: ``"compiled"`` / ``"reference"`` swap the
-    #: provided generator to the matching twin (bit-identical trajectories,
-    #: see :mod:`repro.core.compiled`); ``None`` keeps it as constructed.
+    #: SimGen generator backend: ``"batch"`` / ``"compiled"`` /
+    #: ``"reference"`` swap the provided generator to the matching twin
+    #: (bit-identical trajectories, see :mod:`repro.core.compiled` and
+    #: :mod:`repro.core.batch`); ``None`` keeps it as constructed.
     #: Non-SimGen generators are unaffected.
     simgen_backend: Optional[str] = None
     #: SAT solver backend for the equivalence queries: ``"compiled"`` runs
@@ -176,6 +177,13 @@ class SweepMetrics:
     simgen_time: float = 0.0
     #: Seconds per guided iteration (aligned with ``cost_history[1:]``).
     iteration_times: list[float] = field(default_factory=list)
+    #: Seconds inside ``generator.generate`` per guided iteration (aligned
+    #: with :attr:`iteration_times`).  Each window is charged to
+    #: :attr:`simgen_time` exactly once, so
+    #: ``simgen_time == sum(generation_times)`` holds on every backend —
+    #: including the batch driver, whose 64-wide verification flushes run
+    #: inside the generate window they speculate for.
+    generation_times: list[float] = field(default_factory=list)
     #: Vectors simulated in the simulation phase.
     vectors_simulated: int = 0
     #: SAT queries issued in the SAT phase.
@@ -430,6 +438,7 @@ class SweepEngine:
                     # The generate() window is the generator's bucket; the
                     # rest of the iteration (batching + simulation) stays
                     # under sim_time.  One owner per second, as always.
+                    metrics.generation_times.append(gen_s)
                     metrics.simgen_time += gen_s
                     metrics.sim_time += elapsed - gen_s
                     cost = classes.cost()
@@ -1354,12 +1363,25 @@ class SweepEngine:
             ("implication", "simgen.implication"),
             ("decision", "simgen.decision"),
             ("kernel", "simgen.kernel"),
+            ("batch", "simgen.batch"),
         ):
             stats = getattr(
                 getattr(self.generator, attr, None), "stats", None
             )
             if isinstance(stats, dict):
                 registry.inc_many(prefix, stats)
+        # Per-flush live-lane widths of the batch backend feed a histogram
+        # (drained so repeated publishes never double-count a flush).
+        occupancy = getattr(
+            getattr(self.generator, "batch", None), "lane_occupancy", None
+        )
+        if occupancy:
+            histogram = registry.histogram(
+                "simgen.batch.lanes_active", (1, 2, 4, 8, 16, 32, 64)
+            )
+            for width in occupancy:
+                histogram.observe(width)
+            del occupancy[:]
         seen: set[int] = set()
         for sim in (self.simulator, self._resim_sim):
             if sim is None or id(sim) in seen:

@@ -437,9 +437,9 @@ def main(argv: list[str] | None = None) -> int:
         help="record a structured JSONL trace of the run",
     )
     p.add_argument(
-        "--simgen-backend", choices=("compiled", "reference"),
-        default="compiled", dest="simgen_backend",
-        help="guided-vector kernel (trajectories identical; compiled is faster)",
+        "--simgen-backend", choices=("batch", "compiled", "reference"),
+        default="batch", dest="simgen_backend",
+        help="guided-vector kernel (trajectories identical; batch is fastest)",
     )
     p.add_argument(
         "--sat-backend", choices=("compiled", "reference"),
@@ -483,9 +483,9 @@ def main(argv: list[str] | None = None) -> int:
         help="record a structured JSONL trace of the run",
     )
     p.add_argument(
-        "--simgen-backend", choices=("compiled", "reference"),
-        default="compiled", dest="simgen_backend",
-        help="guided-vector kernel (trajectories identical; compiled is faster)",
+        "--simgen-backend", choices=("batch", "compiled", "reference"),
+        default="batch", dest="simgen_backend",
+        help="guided-vector kernel (trajectories identical; batch is fastest)",
     )
     p.add_argument(
         "--sat-backend", choices=("compiled", "reference"),

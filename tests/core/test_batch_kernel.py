@@ -1,0 +1,326 @@
+"""Batch SimGen backend vs the compiled kernel: exact equivalence.
+
+The lane-batched driver of :mod:`repro.core.batch` runs Algorithm 1's
+inner loop in C and verifies finished attempts up to 64 per simulator
+word, speculating past each attempt and rewinding when the scalar loop
+would have stopped earlier.  Its contract is the same as every backend
+seam in this repository: *bit-identical* trajectories, not merely
+functional equivalence.  The differential suite here drives batch and
+compiled generators with the same networks, seeds, and sweep schedules
+and requires identical vectors, reports, survivor lists, RNG end states,
+and implication/decision/kernel stats streams.
+
+Lane-masking edge cases are pinned separately: a flush whose lanes all
+retired pre-verify must not touch the simulator, a single live lane must
+verify alone, and a mid-batch quota fill must rewind the over-speculated
+lanes exactly to their checkpoints.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.batch as batch_mod
+from repro.core import make_generator
+from repro.core.batch import BatchSimGenGenerator, _PendingAttempt
+from repro.core.compiled import CompiledSimGenGenerator
+from repro.core.generator import GenerationReport
+from repro.core.outgold import (
+    alternating_outgold,
+    level_alternating_outgold,
+    select_targets,
+)
+from repro.sweep import SweepConfig, SweepEngine
+from tests.conftest import random_network
+
+SIMGEN_STRATEGIES = ("AI+DC+MFFC", "AI+DC", "AI+RD", "SI+RD")
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+def freeze_reports(gen):
+    return [
+        (
+            r.skipped,
+            r.survivors,
+            r.implications,
+            r.decisions,
+            r.conflicts,
+            None
+            if r.vector is None
+            else tuple(sorted(r.vector.values.items())),
+        )
+        for r in gen.reports
+    ]
+
+
+def sweep_trace(net, strategy, backend, seed, vpi=4, iterations=6):
+    """Everything observable about one guided sweep, frozen for comparison.
+
+    Includes the shared stats dicts: the batch backend folds its C-core
+    counters into the same implication/decision/kernel streams the scalar
+    kernel feeds, so they must match number for number.
+    """
+    gen = make_generator(
+        strategy,
+        net,
+        seed=seed,
+        simgen_backend=backend,
+        vectors_per_iteration=vpi,
+    )
+    engine = SweepEngine(net, gen, SweepConfig(seed=seed, iterations=iterations))
+    classes, metrics = engine.run_simulation_phase()
+    return gen, (
+        classes.all_classes(),
+        metrics.cost_history,
+        freeze_reports(gen),
+        gen.rng.getstate(),
+        dict(gen.implication.stats),
+        dict(gen.decision.stats),
+        dict(gen.kernel.stats),
+    )
+
+
+def two_real_attempts(net, seed, vpi=1):
+    """A batch generator plus its first two attempts, parked un-flushed.
+
+    Replays exactly the body of ``generate()`` up to (not including) the
+    flush, over one class holding every gate, so flush behaviour can be
+    probed at a chosen quota.
+    """
+    gen = make_generator(
+        "AI+DC+MFFC",
+        net,
+        seed=seed,
+        simgen_backend="batch",
+        vectors_per_iteration=vpi,
+    )
+    splittable = [[n.uid for n in net.gates()]]
+    records = []
+    for _ in range(2):
+        chk = gen._checkpoint()
+        cls = splittable[gen._rotation % len(splittable)]
+        gen._rotation += 1
+        targets = select_targets(cls, gen.max_targets, gen.rng)
+        outgold = gen.outgold_strategy(gen.network, targets)
+        rec = gen._attempt(outgold, chk)
+        gen.reports.append(rec.report)
+        records.append(rec)
+    return gen, records
+
+
+# ----------------------------------------------------------------------
+# Differential identity: batch == compiled, bit for bit
+# ----------------------------------------------------------------------
+
+class TestBatchIdentity:
+    @pytest.mark.parametrize("strategy", SIMGEN_STRATEGIES)
+    def test_sweep_trajectory_identical(self, strategy):
+        net = random_network(seed=21, num_inputs=6, num_gates=24)
+        _, batch = sweep_trace(net, strategy, "batch", seed=5)
+        _, compiled = sweep_trace(net, strategy, "compiled", seed=5)
+        assert batch == compiled
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        net_seed=st.integers(0, 5000),
+        sweep_seed=st.integers(0, 5000),
+        num_inputs=st.integers(4, 6),
+        num_gates=st.integers(12, 24),
+    )
+    def test_random_networks_identical(
+        self, net_seed, sweep_seed, num_inputs, num_gates
+    ):
+        net = random_network(
+            seed=net_seed, num_inputs=num_inputs, num_gates=num_gates
+        )
+        _, batch = sweep_trace(
+            net, "AI+DC+MFFC", "batch", seed=sweep_seed, iterations=4
+        )
+        _, compiled = sweep_trace(
+            net, "AI+DC+MFFC", "compiled", seed=sweep_seed, iterations=4
+        )
+        assert batch == compiled
+
+    @pytest.mark.parametrize("jobs", (1, 4))
+    def test_full_sweep_identical_across_backends(self, jobs):
+        """End-to-end gate: the full sweep (guided phase + pooled SAT
+        phase) lands on the same verdicts, classes, and integer counters
+        whichever generator backend ran."""
+        net = random_network(seed=31, num_inputs=6, num_gates=26)
+
+        def run(backend):
+            gen = make_generator(
+                "AI+DC+MFFC", net, seed=8, simgen_backend=backend
+            )
+            engine = SweepEngine(net, gen, SweepConfig(seed=8, jobs=jobs))
+            result = engine.run()
+            counters = {
+                k: v
+                for k, v in engine.registry.as_dict().items()
+                if not k.endswith("_s") and not k.startswith("simgen.batch")
+            }
+            return (
+                result.equivalences,
+                result.classes.all_classes(),
+                result.metrics.cost_history,
+                result.metrics.sat_calls,
+                result.metrics.proven,
+                freeze_reports(gen),
+                counters,
+            )
+
+        assert run("batch") == run("compiled")
+
+    def test_level_alternating_outgold_identical(self):
+        """The other speculation-eligible builtin outgold strategy."""
+        net = random_network(seed=13, num_inputs=5, num_gates=20)
+
+        def run(cls):
+            gen = cls(net, seed=7, outgold_strategy=level_alternating_outgold)
+            engine = SweepEngine(net, gen, SweepConfig(seed=7, iterations=5))
+            classes, metrics = engine.run_simulation_phase()
+            return (
+                classes.all_classes(),
+                metrics.cost_history,
+                freeze_reports(gen),
+                gen.rng.getstate(),
+            )
+
+        batch = run(BatchSimGenGenerator)
+        assert batch == run(CompiledSimGenGenerator)
+
+    def test_skip_heavy_runs_identical_through_trailing_flush(self):
+        """Seeds whose attempts mostly mask out exhaust the attempt budget
+        with lanes still parked; the trailing flush must resolve them and
+        stay on the scalar trajectory."""
+        for seed in (1, 2, 3, 4):
+            net = random_network(seed=seed, num_inputs=5, num_gates=18)
+            gen, batch = sweep_trace(net, "AI+DC+MFFC", "batch", seed=seed)
+            _, compiled = sweep_trace(net, "AI+DC+MFFC", "compiled", seed=seed)
+            assert batch == compiled
+            assert gen.batch.stats["masked_lane_steps"] > 0
+
+
+# ----------------------------------------------------------------------
+# Lane masking and speculation edge cases
+# ----------------------------------------------------------------------
+
+class TestLaneMasking:
+    def test_all_lanes_masked_flush_never_touches_simulator(self):
+        """Lanes whose skip criterion already failed on the claimed values
+        retire before the lockstep verify: a flush of only masked lanes is
+        a no-op for the simulator, the flush counter, and the occupancy
+        histogram feed."""
+        net = random_network(seed=3, num_inputs=5, num_gates=16)
+        gen = make_generator("AI+DC+MFFC", net, seed=3, simgen_backend="batch")
+        gen._verifier = None  # any simulator touch would raise
+        pending = [
+            _PendingAttempt(
+                report=GenerationReport(vector=None, skipped=True),
+                chk=gen._checkpoint(),
+                needs_sim=False,
+                outgold=None,
+                full=None,
+            )
+            for _ in range(3)
+        ]
+        vectors = []
+        assert gen._flush(pending, vectors) == (False, 0)
+        assert vectors == []
+        assert gen.batch.stats["batch_flushes"] == 0
+        assert gen.batch.lane_occupancy == []
+
+    def test_single_live_lane_verifies_alone(self):
+        """``vectors_per_iteration=1`` keeps the flush width at one: every
+        verification word carries a single live lane, and the trajectory
+        still matches the scalar kernel."""
+        net = random_network(seed=2, num_inputs=6, num_gates=22)
+        gen, batch = sweep_trace(net, "AI+DC+MFFC", "batch", seed=2, vpi=1)
+        _, compiled = sweep_trace(net, "AI+DC+MFFC", "compiled", seed=2, vpi=1)
+        assert batch == compiled
+        assert gen.batch.lane_occupancy
+        assert all(width == 1 for width in gen.batch.lane_occupancy)
+
+    def test_mid_batch_quota_fill_rewinds_over_speculation(self):
+        """When the quota fills mid-flush, every later lane never happened:
+        the RNG, rotation, report list, and shared stats dicts rewind to
+        that lane's checkpoint.  (Seed 0 pins the precondition: both
+        attempts park for verification and the first one commits.)"""
+        net = random_network(seed=0, num_inputs=5, num_gates=16)
+        gen, (first, second) = two_real_attempts(net, seed=0, vpi=1)
+        assert first.needs_sim and second.needs_sim
+        vectors = []
+        progress, discarded = gen._flush([first, second], vectors)
+        assert progress and discarded == 1
+        assert len(vectors) == 1
+        assert gen.batch.stats["speculative_rewinds"] == 1
+        assert gen.batch.stats["discarded_attempts"] == 1
+        # The rewind restored exactly the second attempt's checkpoint.
+        chk = second.chk
+        assert gen.rng.getstate() == chk.rng_state
+        assert gen._rotation == chk.rotation
+        assert len(gen.reports) == chk.n_reports
+        assert gen.implication.stats == chk.impl
+        assert gen.decision.stats == chk.dec
+        assert gen.kernel.stats == chk.kernel
+
+
+# ----------------------------------------------------------------------
+# Fallback paths: no C core, unsupported arity, stateful outgold
+# ----------------------------------------------------------------------
+
+class TestFallbackPaths:
+    def test_pure_python_attempt_path_identical(self, monkeypatch):
+        """With no loaded core (no toolchain, ``REPRO_SIMGENCORE=python``)
+        the driver keeps the speculative flushing but runs attempts on the
+        pure-Python compiled kernel — identical trajectory."""
+        net = random_network(seed=17, num_inputs=5, num_gates=20)
+        gen_c, with_core = sweep_trace(net, "AI+DC+MFFC", "batch", seed=4)
+        assert gen_c._core is not None, "C core expected in this environment"
+        monkeypatch.setattr(batch_mod, "_LIB", None)
+        gen_py, without_core = sweep_trace(net, "AI+DC+MFFC", "batch", seed=4)
+        assert gen_py._core is None
+        assert without_core == with_core
+        # The lane machinery still ran (speculation is core-agnostic).
+        assert gen_py.batch.stats["lane_attempts"] > 0
+
+    def test_oversized_arity_falls_back_silently(self, monkeypatch):
+        """Gates wider than ``SG_MAX_K`` can't be lowered into the C
+        tables; the generator quietly keeps the Python attempt path."""
+        monkeypatch.setattr(batch_mod, "SG_MAX_K", 0)
+        net = random_network(seed=17, num_inputs=5, num_gates=20)
+        gen = make_generator("AI+DC+MFFC", net, seed=4, simgen_backend="batch")
+        assert gen._core is None
+        _, fallback = sweep_trace(net, "AI+DC+MFFC", "batch", seed=4)
+        monkeypatch.undo()
+        _, compiled = sweep_trace(net, "AI+DC+MFFC", "compiled", seed=4)
+        assert fallback == compiled
+
+    def test_stateful_outgold_disables_speculation_not_identity(self):
+        """Arbitrary outgold callables may hold state the RNG checkpoint
+        cannot rewind, so the driver falls back to the scalar generate
+        loop — still bit-identical to the compiled generator."""
+        net = random_network(seed=23, num_inputs=5, num_gates=18)
+
+        def custom_outgold(network, targets):
+            return alternating_outgold(network, targets)
+
+        def run(cls):
+            gen = cls(net, seed=6, outgold_strategy=custom_outgold)
+            engine = SweepEngine(net, gen, SweepConfig(seed=6, iterations=5))
+            classes, metrics = engine.run_simulation_phase()
+            return gen, (
+                classes.all_classes(),
+                metrics.cost_history,
+                freeze_reports(gen),
+                gen.rng.getstate(),
+            )
+
+        gen, batch = run(BatchSimGenGenerator)
+        assert not gen._speculate
+        assert gen.batch.stats["lane_attempts"] == 0
+        _, compiled = run(CompiledSimGenGenerator)
+        assert batch == compiled

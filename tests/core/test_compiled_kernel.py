@@ -299,7 +299,12 @@ class TestBackendSelection:
         rands = make_generator("RandS", net, seed=1)
         assert adapt_backend(rands, "reference") is rands
         gen = make_generator("AI+DC+MFFC", net, seed=1)
-        assert adapt_backend(gen, "compiled") is gen
+        assert gen.backend == "batch"  # the default backend
+        assert adapt_backend(gen, "batch") is gen
+        compiled = make_generator(
+            "AI+DC+MFFC", net, seed=1, simgen_backend="compiled"
+        )
+        assert adapt_backend(compiled, "compiled") is compiled
 
     def test_adapt_backend_roundtrip_preserves_trajectory(self):
         net = random_network(seed=9, num_inputs=5, num_gates=16)
@@ -359,6 +364,42 @@ class TestBoundedCaches:
             if not (node.is_pi or node.is_const):
                 bounded.candidate_rows(assignment, node.uid)
         assert bounded.stats["cache_evictions"] > 0
+
+    def test_transition_cache_lru_eviction_counts(self, monkeypatch):
+        """The shared transition-table cache is LRU-bounded: hits reinsert
+        (the hot tail survives an insert past the cap), the coldest entry
+        is evicted, and the lifetime eviction counter climbs.  Eviction
+        only drops the cache's reference — kernels built earlier keep
+        their tables."""
+        monkeypatch.setattr(compiled_mod, "TRANSITION_CACHE_CAP", 2)
+        compiled_mod.clear_transition_cache()
+        base = compiled_mod.transition_cache_info()["evictions"]
+        rows = ((1, 1, 0),)  # one row over pin 0 — valid for any k >= 1
+        a = compiled_mod.transition_table(rows, 1, False)
+        b = compiled_mod.transition_table(rows, 2, False)
+        # Touch `a` so `b` becomes the LRU victim of the next insert.
+        assert compiled_mod.transition_table(rows, 1, False) is a
+        compiled_mod.transition_table(rows, 3, False)
+        assert compiled_mod.transition_table(rows, 1, False) is a
+        rebuilt = compiled_mod.transition_table(rows, 2, False)
+        assert rebuilt is not b
+        info = compiled_mod.transition_cache_info()
+        assert info["cap"] == 2
+        assert info["size"] <= 2
+        assert info["evictions"] - base >= 2
+        # The evicted table object itself is untouched for live holders.
+        assert b.rows == rows and b.k == 2
+
+    def test_transition_cache_shared_across_kernels(self):
+        """Two kernels over the same network share table objects (the
+        cache key is the gate function, not the gate)."""
+        compiled_mod.clear_transition_cache()
+        net = random_network(seed=4, num_inputs=5, num_gates=16)
+        first = CompiledSimGenKernel(net)
+        second = CompiledSimGenKernel(net)
+        assert first._tables and len(first._tables) == len(second._tables)
+        for x, y in zip(first._tables, second._tables):
+            assert x is y
 
     def test_kernel_weights_eviction_counts_and_preserves_trajectory(
         self, monkeypatch

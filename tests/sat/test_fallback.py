@@ -9,12 +9,13 @@ import warnings
 
 import pytest
 
+import repro.runtime.cbuild as cbuild
 import repro.sat.compiled as compiled
 
 
 @pytest.fixture
 def clean_warn_flag(monkeypatch):
-    monkeypatch.setattr(compiled, "_FALLBACK_WARNED", False)
+    monkeypatch.setattr(compiled._LOADER, "_warned", False)
     monkeypatch.delenv("REPRO_SATCORE", raising=False)
 
 
@@ -22,7 +23,7 @@ class TestCompilerMissing:
     def test_no_compiler_warns_once_and_falls_back(
         self, monkeypatch, clean_warn_flag
     ):
-        monkeypatch.setattr(compiled.shutil, "which", lambda name: None)
+        monkeypatch.setattr(cbuild.shutil, "which", lambda name: None)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             assert compiled._load_satcore() is None
@@ -76,7 +77,7 @@ class TestCorruptCache:
             handle.write(b"junk")
         # Rebuilding "succeeds" but yields the same broken bits: the loader
         # must give up with one warning instead of looping.
-        monkeypatch.setattr(compiled, "_try_load", lambda path: None)
+        monkeypatch.setattr(compiled._LOADER, "_try_load", lambda path: None)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             assert compiled._load_satcore() is None

@@ -139,6 +139,60 @@ class TestSweepAccounting:
         )
 
 
+class TestGenerationAccounting:
+    """Batch-boundary accounting for the guided phase.
+
+    Each ``generate()`` wall window is appended to ``generation_times``
+    and charged to ``simgen_time`` exactly once, so
+    ``simgen_time == sum(generation_times)`` holds on every backend and
+    at every pool width (generation always runs coordinator-side; jobs
+    only widen the SAT pool)."""
+
+    def run_simgen(self, jobs, backend):
+        net = duplicated_network()
+        config = SweepConfig(seed=11, jobs=jobs)
+        generator = make_generator(
+            "AI+DC+MFFC", net, seed=11, simgen_backend=backend
+        )
+        engine = SweepEngine(net, generator, config)
+        return engine, engine.run()
+
+    @pytest.mark.parametrize("jobs", (1, 4))
+    def test_batch_simgen_time_is_sum_of_generation_windows(self, jobs):
+        _, result = self.run_simgen(jobs, backend="batch")
+        metrics = result.metrics
+        assert metrics.generation_times  # the guided phase ran
+        assert metrics.simgen_time == pytest.approx(
+            sum(metrics.generation_times), abs=1e-9
+        )
+        # One window per guided iteration, each contained in that
+        # iteration's wall window (the remainder is sim_time's share).
+        assert len(metrics.generation_times) == len(metrics.iteration_times)
+        for gen_s, iter_s in zip(
+            metrics.generation_times, metrics.iteration_times
+        ):
+            assert 0.0 <= gen_s <= iter_s + 1e-9
+
+    @pytest.mark.parametrize("backend", ("batch", "compiled", "reference"))
+    def test_invariant_holds_on_every_backend(self, backend):
+        _, result = self.run_simgen(1, backend=backend)
+        metrics = result.metrics
+        assert metrics.generation_times
+        assert metrics.simgen_time == pytest.approx(
+            sum(metrics.generation_times), abs=1e-9
+        )
+
+    def test_batch_counters_surface_in_registry(self):
+        engine, _ = self.run_simgen(1, backend="batch")
+        snapshot = engine.registry.as_dict()
+        assert snapshot["simgen.batch.lane_attempts"] > 0
+        assert snapshot["simgen.batch.batch_flushes"] > 0
+        # The lane-occupancy list drains into the histogram at publish
+        # time, so repeated publishes never double-count a flush.
+        assert snapshot["simgen.batch.lanes_active.bucket_count"] > 0
+        assert engine.generator.batch.lane_occupancy == []
+
+
 class TestCecAccounting:
     def check(self, jobs):
         golden = random_network(seed=5, num_inputs=5, num_gates=20)
