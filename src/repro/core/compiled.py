@@ -45,6 +45,7 @@ identity gate both enforce this).
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
 from typing import Mapping, Optional, Sequence
 
@@ -274,43 +275,68 @@ _TRANSITION_CACHE: dict[
     tuple[tuple[tuple[int, int, int], ...], int, bool], _TransitionTable
 ] = {}
 
+#: Guards the cache dict *and* the counters below.  The serve daemon
+#: builds kernels from several job threads at once; unlocked
+#: read-modify-write on the counters would lose increments, and two
+#: threads racing the eviction loop could each pop a survivor.  The lock
+#: is per *kernel build* (once per distinct gate function), never on the
+#: per-vector hot path.
+_TRANSITION_LOCK = threading.Lock()
+
 _TRANSITION_EVICTIONS = 0
+_TRANSITION_HITS = 0
+_TRANSITION_MISSES = 0
 
 
 def transition_table(
     rows: tuple[tuple[int, int, int], ...], k: int, advanced: bool
 ) -> _TransitionTable:
-    """The shared transition table for one gate function."""
-    global _TRANSITION_EVICTIONS
+    """The shared transition table for one gate function (thread-safe)."""
+    global _TRANSITION_EVICTIONS, _TRANSITION_HITS, _TRANSITION_MISSES
     key = (rows, k, advanced)
-    table = _TRANSITION_CACHE.get(key)
-    if table is None:
-        while len(_TRANSITION_CACHE) >= TRANSITION_CACHE_CAP:
-            _TRANSITION_CACHE.pop(next(iter(_TRANSITION_CACHE)))
-            _TRANSITION_EVICTIONS += 1
-        table = _TRANSITION_CACHE[key] = _TransitionTable(rows, k, advanced)
-    else:
-        # LRU touch: reinsert so the hot tail survives evictions.
-        del _TRANSITION_CACHE[key]
-        _TRANSITION_CACHE[key] = table
-    return table
+    with _TRANSITION_LOCK:
+        table = _TRANSITION_CACHE.get(key)
+        if table is None:
+            _TRANSITION_MISSES += 1
+            while len(_TRANSITION_CACHE) >= TRANSITION_CACHE_CAP:
+                _TRANSITION_CACHE.pop(next(iter(_TRANSITION_CACHE)))
+                _TRANSITION_EVICTIONS += 1
+            table = _TRANSITION_CACHE[key] = _TransitionTable(
+                rows, k, advanced
+            )
+        else:
+            _TRANSITION_HITS += 1
+            # LRU touch: reinsert so the hot tail survives evictions.
+            del _TRANSITION_CACHE[key]
+            _TRANSITION_CACHE[key] = table
+        return table
 
 
 def transition_cache_info() -> dict:
-    """Cache occupancy and lifetime evictions (tests, diagnostics)."""
-    return {
-        "size": len(_TRANSITION_CACHE),
-        "cap": TRANSITION_CACHE_CAP,
-        "evictions": _TRANSITION_EVICTIONS,
-    }
+    """Cache occupancy and lifetime hit/miss/eviction counters.
+
+    Read under the lock so concurrent sessions observe a conserved
+    snapshot: ``hits + misses`` equals the lookups issued, and every miss
+    corresponds to exactly one table construction.
+    """
+    with _TRANSITION_LOCK:
+        return {
+            "size": len(_TRANSITION_CACHE),
+            "cap": TRANSITION_CACHE_CAP,
+            "hits": _TRANSITION_HITS,
+            "misses": _TRANSITION_MISSES,
+            "evictions": _TRANSITION_EVICTIONS,
+        }
 
 
 def clear_transition_cache() -> None:
     """Drop every shared transition table (perf-harness cold starts).
 
-    The eviction counter is lifetime-monotonic and survives clears.
+    The hit/miss/eviction counters are lifetime-monotonic and survive
+    clears.
     """
-    _TRANSITION_CACHE.clear()
+    with _TRANSITION_LOCK:
+        _TRANSITION_CACHE.clear()
 
 
 class CompiledSimGenKernel:

@@ -74,7 +74,7 @@ from repro.network.network import Network
 from repro.network.traversal import cone_topological_order
 from repro.sat import tseitin as _tseitin
 from repro.sat.compiled import SAT_CORE, solver_class
-from repro.simulation.compiled import CompiledSimulator
+from repro.simulation.compiled import CompiledSimulator, clear_tape_cache
 from repro.simulation.patterns import PatternBatch
 from repro.simulation import simulator as _sim_mod
 from repro.simulation.simulator import Simulator
@@ -127,6 +127,7 @@ def clear_plan_caches() -> None:
     _tt._var_mask.cache_clear()
     _tseitin.gate_clause_templates.cache_clear()
     clear_transition_cache()
+    clear_tape_cache()
 
 
 @contextmanager

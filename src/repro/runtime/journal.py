@@ -85,14 +85,18 @@ FINGERPRINT_FIELDS = (
 def generator_label(generator) -> str:
     """Backend-invariant label of a guided-vector generator.
 
-    The compiled/reference generator twins produce bit-identical
-    trajectories, so the label strips the ``Compiled`` prefix — a journal
-    recorded under one backend resumes under the other.
+    The batch/compiled/reference generator twins produce bit-identical
+    trajectories, so the label strips the backend prefixes — a journal
+    recorded under one backend resumes under any other.  (Until the
+    ``Batch`` prefix was stripped too, a journal written under the
+    *default* lane-batched backend refused to resume under
+    ``--simgen-backend compiled``/``reference`` despite identical
+    trajectories.)
     """
     if generator is None:
         return "none"
     name = type(generator).__name__
-    return name.removeprefix("Compiled")
+    return name.removeprefix("Batch").removeprefix("Compiled")
 
 
 def config_fingerprint(config, generator=None) -> dict:
@@ -191,6 +195,14 @@ class VerdictJournal:
         if exists and resume:
             self._load()
         self._handle = open(self._path, "ab")
+        if not exists and self._fsync:
+            # Per-record fsync makes *appends* durable, but the file's
+            # directory entry is only durable once the parent directory is
+            # fsync'd — without this, a crash shortly after creation can
+            # lose the whole journal despite every record having synced.
+            from repro.runtime.atomicio import _fsync_directory
+
+            _fsync_directory(os.path.dirname(self._path) or ".")
 
     # ------------------------------------------------------------------
     # Loading

@@ -1,0 +1,167 @@
+"""Admission control for the sweep service: fair FIFO with aging.
+
+The daemon serves many clients from a bounded worker pool, so two
+pressures must be balanced:
+
+* **Fairness** — a client that floods the queue must not starve others:
+  each pending job is penalised by how many of its client's jobs are
+  already ahead of it (queued or running), so interleaved clients drain
+  round-robin even when one submitted a burst.
+* **No starvation** — the penalty *ages away*: every time a job is
+  passed over, its effective penalty drops by one, so even a deeply
+  penalised job runs after a bounded number of other completions.  With
+  a single client the queue degrades to plain FIFO.
+
+Per-client budgets are enforced at admission time (``max_pending``) and
+at execution time (the service clamps each job's wall-clock budget to
+``max_job_seconds``).  All decisions are pure functions of the submit
+order — never of wall clock — so the schedule is deterministic and
+testable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(slots=True)
+class ClientBudget:
+    """Admission-time and execution-time limits for one client."""
+
+    #: Queued-but-not-finished jobs allowed at once (admission refuses
+    #: beyond this; the submitter sees a clean "rejected" answer).
+    max_pending: int = 16
+    #: Clamp applied to each job's requested wall-clock budget (seconds);
+    #: ``None`` leaves requests unclamped.
+    max_job_seconds: Optional[float] = None
+
+
+@dataclass(slots=True)
+class _Pending:
+    seq: int
+    client: str
+    job: object
+    #: Effective penalty; decremented each time the job is passed over.
+    penalty: int = 0
+    #: Observability: times this job was aged past.
+    aged: int = 0
+
+
+@dataclass(slots=True)
+class AdmissionStats:
+    admitted: int = 0
+    rejected: int = 0
+    dispatched: int = 0
+    aged: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "aged": self.aged,
+        }
+
+
+class AdmissionQueue:
+    """Bounded, fair, aging job queue (thread-safe).
+
+    ``submit`` either admits a job or returns ``False`` (client over its
+    pending budget).  ``pop`` blocks until a job is available (or the
+    queue is closed) and returns the fairest eligible job.
+    """
+
+    def __init__(
+        self,
+        default_budget: Optional[ClientBudget] = None,
+        penalty_per_pending: int = 1,
+    ):
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._default_budget = default_budget or ClientBudget()
+        self._budgets: dict[str, ClientBudget] = {}
+        self._penalty_per_pending = penalty_per_pending
+        self._pending: list[_Pending] = []
+        #: Client -> jobs admitted but not yet finished (queued + running).
+        self._inflight: dict[str, int] = {}
+        self._seq = 0
+        self._closed = False
+        self.stats = AdmissionStats()
+
+    def set_budget(self, client: str, budget: ClientBudget) -> None:
+        with self._lock:
+            self._budgets[client] = budget
+
+    def budget_for(self, client: str) -> ClientBudget:
+        with self._lock:
+            return self._budgets.get(client, self._default_budget)
+
+    # ------------------------------------------------------------------
+    def submit(self, client: str, job: object) -> bool:
+        """Admit a job, or refuse it when the client is over budget."""
+        with self._lock:
+            if self._closed:
+                return False
+            budget = self._budgets.get(client, self._default_budget)
+            inflight = self._inflight.get(client, 0)
+            if inflight >= budget.max_pending:
+                self.stats.rejected += 1
+                return False
+            # Fairness penalty: one unit per job this client already has
+            # in flight, so a burst interleaves with other clients.
+            penalty = self._penalty_per_pending * inflight
+            self._pending.append(
+                _Pending(seq=self._seq, client=client, job=job, penalty=penalty)
+            )
+            self._seq += 1
+            self._inflight[client] = inflight + 1
+            self.stats.admitted += 1
+            self._available.notify()
+            return True
+
+    def pop(self, timeout: Optional[float] = None):
+        """The next job by (penalty, seq); ages every job passed over.
+
+        Returns ``None`` when the queue is closed (or the wait timed
+        out) with nothing pending.
+        """
+        with self._lock:
+            while not self._pending:
+                if self._closed:
+                    return None
+                if not self._available.wait(timeout=timeout):
+                    return None
+            best = min(self._pending, key=lambda p: (p.penalty, p.seq))
+            self._pending.remove(best)
+            for other in self._pending:
+                # Aging: being passed over erodes the fairness penalty,
+                # so no job waits forever behind a steady stream.
+                if other.penalty > 0:
+                    other.penalty -= 1
+                    other.aged += 1
+                    self.stats.aged += 1
+            self.stats.dispatched += 1
+            return best.job
+
+    def finish(self, client: str) -> None:
+        """Mark one of ``client``'s jobs complete (frees pending budget)."""
+        with self._lock:
+            count = self._inflight.get(client, 0)
+            if count <= 1:
+                self._inflight.pop(client, None)
+            else:
+                self._inflight[client] = count - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Wake every waiter; subsequent submits are refused."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()

@@ -1,0 +1,112 @@
+"""Minimal stdlib HTTP client for the sweep service.
+
+Used by ``repro.tools submit`` and the test/CI smoke flows; speaks the
+JSON API of :mod:`repro.serve.daemon` with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The daemon refused or failed a request (admission, bad job, ...)."""
+
+
+class ServeClient:
+    """One daemon endpoint, e.g. ``ServeClient("http://127.0.0.1:8351")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, path: str, payload: Optional[dict] = None, raw: bool = False
+    ):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                answer = json.loads(body)
+            except ValueError:
+                answer = {}
+            raise ServeError(
+                answer.get("rejected")
+                or answer.get("error")
+                or f"HTTP {exc.code} from {path}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.base_url}: {exc.reason}"
+            ) from exc
+        if raw:
+            return body
+        return json.loads(body)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def submit(self, request: dict) -> str:
+        """Submit a job; returns its id (raises :class:`ServeError` on
+        admission rejection)."""
+        answer = self._request("/jobs", payload=request)
+        if "rejected" in answer:
+            raise ServeError(answer["rejected"])
+        return answer["id"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{job_id}")
+
+    def trace(self, job_id: str, offset: int = 0) -> bytes:
+        return self._request(f"/jobs/{job_id}/trace?offset={offset}", raw=True)
+
+    def wait(
+        self,
+        job_id: str,
+        poll_interval: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Poll until the job leaves the queue; returns its final state.
+
+        Raises :class:`ServeError` on job failure/rejection or when
+        ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            state = self.job(job_id)
+            status = state.get("status")
+            if status == "done":
+                return state
+            if status in ("failed", "rejected"):
+                raise ServeError(
+                    state.get("error") or f"job {job_id} {status}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(f"timed out waiting for job {job_id}")
+            time.sleep(poll_interval)
+
+    def shutdown(self) -> dict:
+        return self._request("/shutdown", payload={})

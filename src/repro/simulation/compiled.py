@@ -32,6 +32,8 @@ cached topological order.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from typing import Iterable, Mapping, Optional
 
 from repro.errors import SimulationError
@@ -44,6 +46,99 @@ from repro.simulation.simulator import _eval_plan
 #: Above this many compiled nodes the generated source is no longer cheap to
 #: ``compile()``; fall back to interpreting the instruction tape.
 CODEGEN_NODE_LIMIT = 30000
+
+#: Process-wide compiled-tape LRU bound (distinct (structure, targets)
+#: pairs).  The serving daemon re-submits identical or near-identical
+#: netlists many times; re-lowering the tape (ISOP plans, constant
+#: folding, codegen ``exec``) dominates small-job latency, so compiled
+#: artifacts are shared.  Entries hold only immutable compile products —
+#: per-instance ``stats`` stay private.
+TAPE_CACHE_CAP = 64
+
+#: digest -> (uids, pis, pi_slots, const_items, tape, fn).  Insertion
+#: order doubles as LRU order (hits reinsert), like the SimGen
+#: transition-table cache.
+_TAPE_CACHE: dict[bytes, tuple] = {}
+_TAPE_LOCK = threading.Lock()
+_TAPE_HITS = 0
+_TAPE_MISSES = 0
+_TAPE_EVICTIONS = 0
+
+
+def _structure_digest(
+    network: Network,
+    order: Iterable[int],
+    roots: Optional[tuple[int, ...]],
+) -> bytes:
+    """Uid-faithful structural digest of the compiled slice.
+
+    Unlike :func:`repro.transforms.strash.node_signatures` this hash
+    *includes* uids and iteration order: the compiled tape addresses
+    nodes by uid-assigned slots, so it only transfers between networks
+    whose uid-level structure matches exactly (e.g. two parses of the
+    same netlist text).  Hashing the compile ``order`` rather than the
+    whole network keeps cone compiles O(cone), and is sound because the
+    tape is a pure function of that order plus each node's kind, table
+    and fanins.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(repr(roots).encode("ascii"))
+    # The codegen-vs-interpreter decision is part of the compile product,
+    # so a (test-)adjusted CODEGEN_NODE_LIMIT must miss old entries.
+    hasher.update(repr(CODEGEN_NODE_LIMIT).encode("ascii"))
+    for uid in order:
+        node = network.node(uid)
+        if node.is_pi:
+            hasher.update(f"{uid}:pi;".encode("ascii"))
+            continue
+        hasher.update(
+            f"{uid}:{node.table.num_vars}:{node.table.bits}:"
+            f"{node.fanins!r};".encode("ascii")
+        )
+    return hasher.digest()
+
+
+def _tape_cache_get(key: bytes) -> Optional[tuple]:
+    global _TAPE_HITS, _TAPE_MISSES
+    with _TAPE_LOCK:
+        cached = _TAPE_CACHE.pop(key, None)
+        if cached is None:
+            _TAPE_MISSES += 1
+            return None
+        _TAPE_HITS += 1
+        _TAPE_CACHE[key] = cached  # reinsert = most recently used
+        return cached
+
+
+def _tape_cache_put(key: bytes, artifacts: tuple) -> None:
+    global _TAPE_EVICTIONS
+    with _TAPE_LOCK:
+        if key not in _TAPE_CACHE:
+            while len(_TAPE_CACHE) >= TAPE_CACHE_CAP:
+                _TAPE_CACHE.pop(next(iter(_TAPE_CACHE)))
+                _TAPE_EVICTIONS += 1
+        _TAPE_CACHE[key] = artifacts
+
+
+def tape_cache_info() -> dict:
+    """Occupancy and lifetime hit/miss/eviction counters (thread-safe)."""
+    with _TAPE_LOCK:
+        return {
+            "size": len(_TAPE_CACHE),
+            "cap": TAPE_CACHE_CAP,
+            "hits": _TAPE_HITS,
+            "misses": _TAPE_MISSES,
+            "evictions": _TAPE_EVICTIONS,
+        }
+
+
+def clear_tape_cache() -> None:
+    """Drop every cached tape (perf-harness cold starts).
+
+    Counters are lifetime-monotonic and survive clears.
+    """
+    with _TAPE_LOCK:
+        _TAPE_CACHE.clear()
 
 
 class CompiledSimulator:
@@ -58,12 +153,29 @@ class CompiledSimulator:
     def __init__(self, network: Network, targets: Optional[Iterable[int]] = None):
         self.network = network
         if targets is None:
+            roots: Optional[tuple[int, ...]] = None
             order = network.topological_order()
         else:
-            roots = sorted(set(targets))
+            roots = tuple(sorted(set(targets)))
             for uid in roots:
                 network.node(uid)  # existence check
             order = cone_topological_order(network, roots)
+        #: Work counters for the metrics registry (published as ``sim.*``).
+        self.stats = {"batches": 0, "patterns": 0, "node_evals": 0}
+        digest = _structure_digest(network, order, roots)
+        cached = _tape_cache_get(digest)
+        if cached is not None:
+            # Every cached field is immutable (or, for const_bits, never
+            # mutated after compile), so instances share them freely.
+            (
+                self._uids,
+                self._pis,
+                self._pi_slots,
+                self._const_bits,
+                self._tape,
+                self._fn,
+            ) = cached
+            return
         self._uids: tuple[int, ...] = tuple(order)
         slot_of = {uid: slot for slot, uid in enumerate(order)}
 
@@ -130,8 +242,17 @@ class CompiledSimulator:
         self._fn = (
             self._codegen() if len(order) <= CODEGEN_NODE_LIMIT else None
         )
-        #: Work counters for the metrics registry (published as ``sim.*``).
-        self.stats = {"batches": 0, "patterns": 0, "node_evals": 0}
+        _tape_cache_put(
+            digest,
+            (
+                self._uids,
+                self._pis,
+                self._pi_slots,
+                self._const_bits,
+                self._tape,
+                self._fn,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection (benchmarks and tests)

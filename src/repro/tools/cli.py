@@ -15,6 +15,10 @@ Commands operate on BLIF or .bench files (format chosen by extension):
                                           (writes ``BENCH_perf.json``)
 * ``trace   <file.jsonl>``             — analyze / validate a structured
                                           trace recorded with ``--trace``
+* ``serve   [--port N] [--cache F]``   — persistent sweep/CEC daemon with
+                                          a signature-keyed verdict cache
+* ``submit  <in> [--revised <b>]``     — run a sweep (or CEC) job on a
+                                          running ``serve`` daemon
 
 ``sweep`` and ``cec`` accept ``--trace FILE`` to record a structured JSONL
 trace of the run (see docs/OBSERVABILITY.md).
@@ -370,6 +374,103 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: most CLI invocations never start the daemon.
+    from repro.serve import (
+        ClientBudget,
+        SweepService,
+        VerdictCache,
+        build_server,
+        run_server,
+    )
+
+    cache = VerdictCache(
+        path=args.cache, max_bytes=int(args.cache_bytes)
+    )
+    service = SweepService(
+        workers=args.workers,
+        cache=cache,
+        default_budget=ClientBudget(
+            max_pending=args.max_pending,
+            max_job_seconds=args.max_job_seconds,
+        ),
+    )
+    server = build_server(host=args.host, port=args.port, service=service)
+    host, port = server.server_address[:2]
+    loaded = cache.stats["loaded"]
+    print(
+        f"serving on http://{host}:{port} "
+        f"({args.workers} workers"
+        + (f", {loaded} cached verdicts loaded" if loaded else "")
+        + ")",
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.io import bench_text as _bench_text
+    from repro.serve import ServeClient
+
+    config = {
+        "seed": args.seed,
+        "iterations": args.iterations,
+        "patterns": args.patterns,
+        "strategy": args.strategy,
+        "simgen_backend": args.simgen_backend,
+        "sat_backend": args.sat_backend,
+        "jobs": args.jobs,
+        "timeout": args.timeout,
+        "escalate": args.escalate,
+    }
+    # Normalize through the parser so any supported extension submits.
+    request = {
+        "kind": "cec" if args.revised else "sweep",
+        "format": "bench",
+        "netlist": _bench_text(load_network(args.input)),
+        "client": args.client,
+        "config": config,
+        "trace": args.trace,
+    }
+    if args.revised:
+        request["revised"] = _bench_text(load_network(args.revised))
+    client = ServeClient(args.url)
+    job_id = client.submit(request)
+    print(f"job {job_id} submitted to {args.url}")
+    state = client.wait(job_id, timeout=args.wait_timeout)
+    result = state["result"]
+    cache_stats = result["cache"]
+    print(
+        f"cache: {cache_stats['hits']} replayed, "
+        f"{cache_stats['misses']} missed, "
+        f"{cache_stats['appends']} appended"
+    )
+    if args.trace:
+        trace = client.trace(job_id)
+        atomic_write_text(args.trace, trace.decode("utf-8"))
+        print(f"trace -> {args.trace}")
+    if result["kind"] == "sweep":
+        metrics = result["metrics"]
+        print(
+            f"reduced: {result['gates_before']} -> {result['gates_after']} "
+            f"gates ({result['merged']} merges), "
+            f"{metrics['sat_calls']} SAT calls"
+        )
+        if args.output:
+            atomic_write_text(args.output, result["netlist"])
+            print(f"-> {args.output}")
+        return 0
+    print(
+        f"{result['verdict'].upper()}  "
+        f"({result['metrics']['sat_calls']} SAT calls)"
+    )
+    if result["counterexample"]:
+        values = " ".join(f"{n}={v}" for n, v in result["counterexample"])
+        print(f"  counterexample: {values}")
+    return 1 if result["verdict"] == "different" else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily: the harness pulls in the whole experiment stack.
     from repro.experiments.perfbench import main as bench_main
@@ -535,6 +636,72 @@ def main(argv: list[str] | None = None) -> int:
         help="hottest SAT pairs to list in the summary (default 5)",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="persistent sweep/CEC daemon with a verdict cache"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8351,
+        help="listen port (0 picks a free one; printed at startup)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job runner threads",
+    )
+    p.add_argument(
+        "--cache", metavar="FILE",
+        help="persist the verdict cache here (reloaded at startup)",
+    )
+    p.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        dest="cache_bytes",
+        help="in-memory cache bound; LRU entries evict past it",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=16, dest="max_pending",
+        help="per-client admission budget (queued + running jobs)",
+    )
+    p.add_argument(
+        "--max-job-seconds", type=float, default=None,
+        dest="max_job_seconds",
+        help="clamp every job's deadline to this many seconds",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit", help="run a job on a repro.tools serve daemon")
+    p.add_argument("input")
+    p.add_argument(
+        "--revised", metavar="FILE",
+        help="second netlist: submit a CEC job instead of a sweep",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8351")
+    p.add_argument("-o", "--output", help="write the reduced network here")
+    p.add_argument("--client", default="cli", help="admission identity")
+    p.add_argument("--strategy", default="AI+DC+MFFC")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--patterns", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, metavar="SECONDS")
+    p.add_argument("--escalate", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N")
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="fetch the job's structured trace into this file",
+    )
+    p.add_argument(
+        "--simgen-backend", choices=("batch", "compiled", "reference"),
+        default="batch", dest="simgen_backend",
+    )
+    p.add_argument(
+        "--sat-backend", choices=("compiled", "reference"),
+        default="compiled", dest="sat_backend",
+    )
+    p.add_argument(
+        "--wait-timeout", type=float, default=None, dest="wait_timeout",
+        help="give up waiting for the result after this many seconds",
+    )
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("bench", help="sweep performance regression harness")
     p.add_argument("--quick", action="store_true", help="CI smoke subset")

@@ -434,3 +434,48 @@ class TestBoundedCaches:
         )
         assert trace == baseline
         assert gen.kernel.stats["weights_evictions"] > 0
+
+
+class TestTransitionCacheConcurrency:
+    """The process-wide table cache is hit from service worker threads."""
+
+    def test_concurrent_sessions_conserve_counters(self):
+        """hits + misses == lookups under contention, and every miss is a
+        real construction (no lost updates from read-modify-write races)."""
+        import threading
+
+        compiled_mod.clear_transition_cache()
+        before = compiled_mod.transition_cache_info()
+        distinct = [((1, 1, 0),), ((1, 0, 0),), ((3, 3, 0),), ((2, 2, 1),)]
+        threads, rounds = 8, 50
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(rounds):
+                for rows in distinct:
+                    compiled_mod.transition_table(rows, 4, False)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        info = compiled_mod.transition_cache_info()
+        lookups = threads * rounds * len(distinct)
+        hits = info["hits"] - before["hits"]
+        misses = info["misses"] - before["misses"]
+        assert hits + misses == lookups
+        # Under the cap nothing evicts, so misses == resident entries:
+        # each table was constructed exactly once across all threads.
+        assert info["evictions"] == before["evictions"]
+        assert misses == len(distinct)
+
+    def test_counters_survive_clear(self):
+        compiled_mod.clear_transition_cache()
+        before = compiled_mod.transition_cache_info()
+        compiled_mod.transition_table(((1, 1, 0),), 5, False)
+        compiled_mod.clear_transition_cache()
+        info = compiled_mod.transition_cache_info()
+        assert info["size"] == 0
+        assert info["misses"] == before["misses"] + 1

@@ -183,3 +183,95 @@ class TestStats:
             assert journal.consume_stats() == {}
             journal.record(g1, g3, False, 100, SatResult.SAT, None, 1, 1)
             assert journal.consume_stats() == {"appends": 1}
+
+
+class TestCreationDurability:
+    """The crash drill for journal *creation*.
+
+    Per-record fsync makes appends durable, but a freshly created file's
+    directory entry is only durable after the parent directory itself is
+    fsync'd.  The constructor must do that exactly once — when (and only
+    when) it creates the file in durable mode.
+    """
+
+    def _record_dir_fsyncs(self, monkeypatch):
+        from repro.runtime import atomicio
+
+        calls = []
+        real = atomicio._fsync_directory
+        monkeypatch.setattr(
+            atomicio,
+            "_fsync_directory",
+            lambda directory: (calls.append(directory), real(directory))[1],
+        )
+        return calls
+
+    def test_fresh_durable_journal_fsyncs_parent_directory(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._record_dir_fsyncs(monkeypatch)
+        journal = VerdictJournal(tmp_path / "j.jsonl", fsync=True)
+        journal.close()
+        assert str(tmp_path) in calls
+
+    def test_no_directory_fsync_when_durability_is_off(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._record_dir_fsyncs(monkeypatch)
+        VerdictJournal(tmp_path / "j.jsonl", fsync=False).close()
+        assert calls == []
+
+    def test_no_directory_fsync_on_resume_of_existing_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "j.jsonl"
+        VerdictJournal(path, fsync=False).close()
+        calls = self._record_dir_fsyncs(monkeypatch)
+        VerdictJournal(path, resume=True, fsync=True).close()
+        assert calls == []
+
+
+class TestGeneratorLabel:
+    """The backend twins must share one journal namespace."""
+
+    def test_backend_prefixes_are_stripped(self):
+        from repro.runtime.journal import generator_label
+
+        class SimGenGenerator:
+            pass
+
+        class BatchSimGenGenerator:
+            pass
+
+        class CompiledSimGenGenerator:
+            pass
+
+        labels = {
+            generator_label(cls())
+            for cls in (
+                SimGenGenerator, BatchSimGenGenerator, CompiledSimGenGenerator
+            )
+        }
+        assert labels == {"SimGenGenerator"}
+        assert generator_label(None) == "none"
+
+    def test_real_backends_fingerprint_identically(self):
+        from repro.core.strategies import make_generator
+        from repro.runtime.journal import config_fingerprint
+        from repro.sweep import SweepConfig
+
+        net, _ = small_network()
+        config = SweepConfig(seed=3)
+        prints = {
+            json.dumps(
+                config_fingerprint(
+                    config,
+                    make_generator(
+                        "RandS", net, seed=3, simgen_backend=backend
+                    ),
+                ),
+                sort_keys=True,
+            )
+            for backend in ("batch", "compiled", "reference")
+        }
+        assert len(prints) == 1

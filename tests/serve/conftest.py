@@ -1,0 +1,51 @@
+"""Shared fixtures for the serving-layer tests.
+
+Jobs run real sweeps, so the workloads are deliberately tiny miters —
+enough SAT traffic to exercise the cache, small enough for CI.
+"""
+
+import time
+
+import pytest
+
+from repro.io import bench_text
+from repro.sat.tseitin import po_miter
+from repro.serve import SweepService
+from tests.conftest import random_network
+
+
+def miter_text(seed=9, num_inputs=6, num_gates=30, mutate=None):
+    """Bench text of a two-copy miter (every class pair is provable).
+
+    ``mutate`` (a gate index) inverts one gate in *both* copies before
+    mitering: the result is still equivalent everywhere, but every cone
+    containing the mutated gate changes structural signature — the
+    "lightly edited netlist" of the cache-reuse acceptance tests.
+    """
+    base = random_network(seed=seed, num_inputs=num_inputs, num_gates=num_gates)
+    if mutate is not None:
+        gates = [n for n in base.gates() if n.num_fanins >= 2]
+        victim = gates[mutate % len(gates)]
+        victim.table = ~victim.table
+    return bench_text(po_miter(base, base))
+
+
+def run_job(service, request, timeout=120.0):
+    """Submit one job and spin until it finishes; returns the Job."""
+    answer = service.submit(request)
+    assert "id" in answer, answer
+    job_id = answer["id"]
+    deadline = time.monotonic() + timeout
+    while True:
+        job = service.job(job_id)
+        if job.status not in ("queued", "running"):
+            return job
+        assert time.monotonic() < deadline, f"job {job_id} stuck: {job.status}"
+        time.sleep(0.02)
+
+
+@pytest.fixture
+def service():
+    svc = SweepService(workers=2).start()
+    yield svc
+    svc.shutdown()

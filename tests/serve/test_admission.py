@@ -1,0 +1,119 @@
+"""AdmissionQueue: budgets, fairness, aging, determinism."""
+
+import threading
+
+from repro.serve import AdmissionQueue, ClientBudget
+
+
+def drain(queue):
+    order = []
+    while queue.depth:
+        order.append(queue.pop(timeout=0))
+    return order
+
+
+class TestBudgets:
+    def test_over_budget_submit_refused(self):
+        queue = AdmissionQueue(default_budget=ClientBudget(max_pending=2))
+        assert queue.submit("a", "j1")
+        assert queue.submit("a", "j2")
+        assert not queue.submit("a", "j3")
+        assert queue.stats.rejected == 1
+        # Other clients are unaffected by a's exhaustion.
+        assert queue.submit("b", "j4")
+
+    def test_finish_frees_budget(self):
+        queue = AdmissionQueue(default_budget=ClientBudget(max_pending=1))
+        assert queue.submit("a", "j1")
+        assert not queue.submit("a", "j2")
+        assert queue.pop(timeout=0) == "j1"
+        # Still in flight until finish: budget covers queued + running.
+        assert not queue.submit("a", "j2")
+        queue.finish("a")
+        assert queue.submit("a", "j2")
+
+    def test_per_client_budget_override(self):
+        queue = AdmissionQueue(default_budget=ClientBudget(max_pending=1))
+        queue.set_budget("big", ClientBudget(max_pending=3))
+        assert queue.budget_for("big").max_pending == 3
+        assert queue.budget_for("other").max_pending == 1
+        for i in range(3):
+            assert queue.submit("big", f"j{i}")
+        assert not queue.submit("big", "j3")
+
+
+class TestSchedule:
+    def test_single_client_is_fifo(self):
+        queue = AdmissionQueue()
+        for i in range(4):
+            queue.submit("a", f"j{i}")
+        assert drain(queue) == ["j0", "j1", "j2", "j3"]
+
+    def test_loaded_client_yields_to_newcomer(self):
+        """A client with jobs still *running* is penalised at submit."""
+        queue = AdmissionQueue()
+        for i in range(3):
+            queue.submit("a", f"a{i}")
+        # Two of a's jobs dispatch and are still running (not finished).
+        assert queue.pop(timeout=0) == "a0"
+        assert queue.pop(timeout=0) == "a1"
+        queue.submit("a", "a3")  # penalty: 3 jobs in flight
+        queue.submit("b", "b0")  # penalty: 0
+        assert queue.pop(timeout=0) == "a2"  # submitted first, aged to 0
+        # b jumps a's backlog despite the later sequence number.
+        assert queue.pop(timeout=0) == "b0"
+        assert queue.pop(timeout=0) == "a3"
+        assert queue.stats.aged > 0
+
+    def test_burst_penalty_ages_away(self):
+        """No starvation: every pass-over erodes the penalty by one."""
+        queue = AdmissionQueue(penalty_per_pending=5)
+        queue.submit("a", "a0")
+        queue.submit("a", "a1")  # penalty 5: one job already in flight
+        assert queue.pop(timeout=0) == "a0"  # a1 ages to 4
+        order = []
+        for _ in range(8):
+            queue.submit("b", f"b{len(order)}")
+            order.append(queue.pop(timeout=0))
+            queue.finish("b")
+        # Four b's pass a1 (eroding 4 -> 0); then a1 wins on sequence.
+        assert order[:5] == ["b0", "b1", "b2", "b3", "a1"]
+
+    def test_deterministic_replay(self):
+        def schedule():
+            queue = AdmissionQueue(penalty_per_pending=2)
+            order = []
+            queue.submit("a", "a0")
+            queue.submit("a", "a1")
+            queue.submit("b", "b0")
+            order.append(queue.pop(timeout=0))
+            queue.submit("a", "a2")
+            queue.submit("c", "c0")
+            while queue.depth:
+                order.append(queue.pop(timeout=0))
+            return order
+
+        assert schedule() == schedule()
+
+
+class TestLifecycle:
+    def test_close_wakes_blocked_pop(self):
+        queue = AdmissionQueue()
+        answers = []
+        thread = threading.Thread(
+            target=lambda: answers.append(queue.pop(timeout=30))
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert answers == [None]
+
+    def test_closed_queue_refuses_submits(self):
+        queue = AdmissionQueue()
+        queue.close()
+        assert not queue.submit("a", "j")
+
+    def test_pop_timeout_returns_none(self):
+        queue = AdmissionQueue()
+        assert queue.pop(timeout=0.01) is None

@@ -1,0 +1,106 @@
+"""The JSON-over-HTTP front end and its stdlib client."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, build_server, run_server
+from tests.serve.conftest import miter_text
+
+
+@pytest.fixture
+def endpoint():
+    server = build_server(port=0, workers=2)
+    thread = threading.Thread(target=run_server, args=(server,), daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+    yield client
+    try:
+        client.shutdown()
+    except ServeError:
+        pass  # already shut down by the test
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+class TestRoutes:
+    def test_health(self, endpoint):
+        assert endpoint.health() == {"ok": True}
+
+    def test_submit_wait_fetch(self, endpoint):
+        text = miter_text(num_gates=25)
+        job_id = endpoint.submit(
+            {"kind": "sweep", "netlist": text, "trace": True}
+        )
+        state = endpoint.wait(job_id, timeout=120)
+        result = state["result"]
+        assert result["gates_after"] <= result["gates_before"]
+        assert result["netlist"].strip()
+        # Same submission again: served from the daemon's verdict cache.
+        second = endpoint.wait(
+            endpoint.submit({"kind": "sweep", "netlist": text}), timeout=120
+        )
+        assert second["result"]["netlist"] == result["netlist"]
+        assert second["result"]["cache"]["appends"] == 0
+        assert second["result"]["metrics"]["sat_time"] == 0.0
+
+    def test_trace_endpoint_with_offset(self, endpoint):
+        job_id = endpoint.submit(
+            {"kind": "sweep", "netlist": miter_text(num_gates=20), "trace": True}
+        )
+        endpoint.wait(job_id, timeout=120)
+        body = endpoint.trace(job_id)
+        assert body.count(b"\n") > 2
+        assert endpoint.trace(job_id, offset=len(body) - 7) == body[-7:]
+
+    def test_stats_route(self, endpoint):
+        stats = endpoint.stats()
+        assert "cache" in stats
+        assert "admission" in stats
+
+    def test_unknown_job_404(self, endpoint):
+        with pytest.raises(ServeError, match="unknown job"):
+            endpoint.job("j999999")
+
+    def test_unknown_path_404(self, endpoint):
+        with pytest.raises(ServeError, match="unknown path"):
+            endpoint._request("/nope")
+
+    def test_rejected_submission_is_429(self, endpoint):
+        with pytest.raises(ServeError, match="kind"):
+            endpoint.submit({"kind": "frobnicate", "netlist": "x"})
+
+    def test_bad_json_body_is_400(self, endpoint):
+        request = urllib.request.Request(
+            endpoint.base_url + "/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "bad JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_failed_job_surfaces_error(self, endpoint):
+        job_id = endpoint.submit({"kind": "sweep", "netlist": "garbage("})
+        with pytest.raises(ServeError):
+            endpoint.wait(job_id, timeout=60)
+
+    def test_unreachable_daemon(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.health()
+
+
+class TestShutdown:
+    def test_shutdown_route_stops_server(self):
+        server = build_server(port=0, workers=1)
+        thread = threading.Thread(
+            target=run_server, args=(server,), daemon=True
+        )
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+        assert client.shutdown() == {"stopping": True}
+        thread.join(timeout=30)
+        assert not thread.is_alive()

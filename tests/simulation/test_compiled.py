@@ -146,3 +146,94 @@ class TestErrorsAndFallback:
 
     def test_codegen_limit_is_sane(self):
         assert CODEGEN_NODE_LIMIT > 1000
+
+
+class TestTapeCache:
+    """The process-wide compiled-tape LRU (serving-daemon warm paths)."""
+
+    def setup_method(self):
+        from repro.simulation import compiled as mod
+
+        mod.clear_tape_cache()
+        self.mod = mod
+
+    def test_recompile_hits_and_shares_artifacts(self):
+        net = random_network(seed=21, num_inputs=6, num_gates=24)
+        before = self.mod.tape_cache_info()
+        first = CompiledSimulator(net)
+        second = CompiledSimulator(net)
+        info = self.mod.tape_cache_info()
+        assert info["misses"] == before["misses"] + 1
+        assert info["hits"] == before["hits"] + 1
+        # The immutable compile products are shared, stats are private.
+        assert second._tape is first._tape
+        assert second._fn is first._fn
+        assert second.stats is not first.stats
+        batch = PatternBatch.random_for(net, 64, random.Random(21))
+        assert second.run_batch(batch) == first.run_batch(batch)
+
+    def test_equal_reparse_hits_across_objects(self):
+        from repro.io import bench_text, parse_bench
+
+        net = random_network(seed=22, num_inputs=6, num_gates=24)
+        text = bench_text(net)
+        CompiledSimulator(parse_bench(text))
+        before = self.mod.tape_cache_info()["hits"]
+        reparsed = parse_bench(text)
+        CompiledSimulator(reparsed)
+        assert self.mod.tape_cache_info()["hits"] == before + 1
+
+    def test_targets_key_separately(self):
+        net = random_network(seed=23, num_inputs=6, num_gates=24)
+        root = next(uid for _, uid in net.pos)
+        CompiledSimulator(net)
+        before = self.mod.tape_cache_info()
+        cone = CompiledSimulator(net, targets=[root])
+        info = self.mod.tape_cache_info()
+        assert info["misses"] == before["misses"] + 1
+        batch = PatternBatch.random_for(net, 32, random.Random(23))
+        full = CompiledSimulator(net).run_batch(batch)
+        words = {pi: batch.words()[pi] for pi in cone.compiled_pis}
+        assert cone.run_words(words, batch.width)[root] == full[root]
+
+    def test_eviction_bounds_residency(self, monkeypatch):
+        monkeypatch.setattr(self.mod, "TAPE_CACHE_CAP", 2)
+        for seed in range(4):
+            CompiledSimulator(
+                random_network(seed=seed, num_inputs=5, num_gates=12)
+            )
+        info = self.mod.tape_cache_info()
+        assert info["size"] <= 2
+        assert info["evictions"] >= 2
+
+    def test_clear_keeps_lifetime_counters(self):
+        CompiledSimulator(
+            random_network(seed=24, num_inputs=5, num_gates=12)
+        )
+        misses = self.mod.tape_cache_info()["misses"]
+        self.mod.clear_tape_cache()
+        info = self.mod.tape_cache_info()
+        assert info["size"] == 0
+        assert info["misses"] == misses
+
+    def test_concurrent_compiles_are_consistent(self):
+        import threading
+
+        net = random_network(seed=25, num_inputs=6, num_gates=24)
+        batch = PatternBatch.random_for(net, 64, random.Random(25))
+        expected = Simulator(net).run_batch(batch)
+        results = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            results.append(CompiledSimulator(net).run_batch(batch))
+
+        pool = [threading.Thread(target=worker) for _ in range(6)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert all(r == expected for r in results)
+        info = self.mod.tape_cache_info()
+        assert info["hits"] + info["misses"] >= 6

@@ -146,3 +146,39 @@ class TestCliCrashResume:
         assert (tmp_path / "crash.blif").read_bytes() == (
             tmp_path / "base.blif"
         ).read_bytes()
+
+
+class TestCrossBackendResume:
+    """A journal is keyed by trajectory, not by kernel implementation.
+
+    The batch/compiled/reference SimGen backends produce bit-identical
+    trajectories, so a journal recorded under one must replay under any
+    other.  (The fingerprint's generator label once kept the ``Batch``
+    prefix, so journals written under the *default* backend refused to
+    resume under ``--simgen-backend compiled``/``reference``.)
+    """
+
+    def backend_sweep(self, net, journal_path, backend, resume=False):
+        journal = VerdictJournal(journal_path, resume=resume, fsync=False)
+        config = SweepConfig(seed=11, journal=journal)
+        generator = make_generator(
+            "RandS", net, seed=11, simgen_backend=backend
+        )
+        try:
+            return SweepEngine(net, generator, config).run()
+        finally:
+            journal.close()
+
+    @pytest.mark.parametrize("resume_backend", ["compiled", "reference"])
+    def test_batch_journal_replays_under_other_backends(
+        self, tmp_path, resume_backend
+    ):
+        net = workload_network()
+        path = tmp_path / "j.jsonl"
+        baseline = self.backend_sweep(net, path, "batch")
+        resumed = self.backend_sweep(
+            net, path, resume_backend, resume=True
+        )
+        assert sweep_signature(net, resumed) == sweep_signature(net, baseline)
+        assert reduced_bytes(net, resumed) == reduced_bytes(net, baseline)
+        assert resumed.metrics.sat_time == 0.0

@@ -205,3 +205,58 @@ class TestTraceCommand:
     def test_trace_missing_file_errors(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestResumeGuards:
+    """``--resume`` misuse fails fast with a one-line error, exit 2."""
+
+    def test_sweep_resume_without_journal(self, blif_file, capsys):
+        _, path = blif_file
+        assert main(["sweep", str(path), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "error: --resume requires --journal FILE"
+
+    def test_cec_resume_without_journal(self, blif_file, capsys):
+        _, path = blif_file
+        assert main(["cec", str(path), str(path), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "error: --resume requires --journal FILE"
+
+    def test_resume_with_mismatched_fingerprint(
+        self, blif_file, tmp_path, capsys
+    ):
+        _, path = blif_file
+        journal = tmp_path / "j.jsonl"
+        assert main(
+            ["sweep", str(path), "--journal", str(journal),
+             "--iterations", "2"]
+        ) == 0
+        capsys.readouterr()
+        # Different seed => different config fingerprint: refuse cleanly.
+        code = main(
+            ["sweep", str(path), "--journal", str(journal), "--resume",
+             "--iterations", "2", "--seed", "5"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "different sweep configuration" in err
+
+    def test_existing_journal_without_resume_refused(
+        self, blif_file, tmp_path, capsys
+    ):
+        _, path = blif_file
+        journal = tmp_path / "j.jsonl"
+        assert main(
+            ["sweep", str(path), "--journal", str(journal),
+             "--iterations", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", str(path), "--journal", str(journal),
+             "--iterations", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "already exists" in err
+        assert "--resume" in err
